@@ -1,0 +1,34 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``benchmarks/test_*`` module regenerates one table or figure of
+the paper.  Policy suites are expensive (six full machine simulations
+per application), so they are computed once per session and shared:
+``get_suite(app)`` runs lazily and caches.
+
+The benchmarks default to the ``small`` preset so the whole directory
+finishes in a few minutes; set ``PRISM_BENCH_PRESET=default`` for the
+paper-scale runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.runner import run_suite
+
+PRESET = os.environ.get("PRISM_BENCH_PRESET", "small")
+
+_SUITES: "dict[str, object]" = {}
+
+
+def get_suite(app: str):
+    """The 6-policy suite for ``app`` (cached per session)."""
+    suite = _SUITES.get(app)
+    if suite is None:
+        suite = run_suite(app, preset=PRESET)
+        _SUITES[app] = suite
+    return suite
+
+
+def have_suite(app: str) -> bool:
+    return app in _SUITES

@@ -1,0 +1,42 @@
+"""Ablation: the bidirectional adaptive policy (section 4.3's remark).
+
+The paper observes that unidirectional demotion (Dyn-Util / Dyn-LRU)
+can convert *reuse* pages to LA-NUMA mode, after which "cache capacity
+evictions caused the data on those pages to be repeatedly refetched
+from remote home nodes", and suggests R-NUMA-style promotion back to
+S-COMA.  ``dyn-bidir`` implements that.  The scenario: a hot block
+larger than L2 (so refetches miss the processor caches) interleaved
+with a cold stream that demotes it every other iteration.
+"""
+
+import pytest
+
+from repro.core.policies import DynBidirPolicy, make_policy
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run(policy, cap=96):
+    machine = Machine(MachineConfig(), policy=policy,
+                      page_cache_override=[cap] * 8)
+    wl = SyntheticWorkload("reuse_vs_stream", shared_kb=2048, iterations=6,
+                           refs_per_cpu_per_iter=3000, cycles_per_ref=10)
+    return machine.run(wl)
+
+
+def test_bidirectional_promotion_recovers_reuse_pages(benchmark):
+    def pair():
+        return (run(make_policy("dyn-lru")),
+                run(DynBidirPolicy(promote_threshold=48)))
+
+    lru, bidir = benchmark.pedantic(pair, rounds=1, iterations=1)
+    promotions = sum(n.mode_promotions for n in bidir.stats.nodes)
+    print("\ndyn-lru:   %d cycles, %d remote misses"
+          % (lru.stats.execution_cycles, lru.stats.remote_misses))
+    print("dyn-bidir: %d cycles, %d remote misses, %d promotions"
+          % (bidir.stats.execution_cycles, bidir.stats.remote_misses,
+             promotions))
+    assert promotions > 0
+    assert bidir.stats.remote_misses < lru.stats.remote_misses
+    assert bidir.stats.execution_cycles < lru.stats.execution_cycles * 0.85

@@ -1,0 +1,37 @@
+"""Ablation: page-cache size and the Falsafi & Wood reconciliation.
+
+Section 4.3: the paper's SCOMA-70 beats LANUMA where R-NUMA's fixed
+320-KB page cache (5%-25% of the needed client pages) favoured
+CC-NUMA.  Sweeping the page-cache fraction must show exactly that
+crossover: LANUMA wins at small fractions, capped S-COMA wins at the
+paper's 70%.
+"""
+
+import pytest
+
+from repro.harness.sweep import cache_fraction_sweep, render_sweep
+
+from conftest import PRESET
+
+
+@pytest.mark.parametrize("app", ("lu", "water-nsq"))
+def test_cache_fraction_crossover(benchmark, app):
+    sweep = benchmark.pedantic(
+        cache_fraction_sweep, args=(app,),
+        kwargs={"fractions": (0.1, 0.25, 0.5, 0.7, 0.9),
+                "preset": PRESET},
+        rounds=1, iterations=1)
+    print()
+    print(render_sweep(sweep))
+
+    # Monotone improvement with a bigger page cache (page-outs shrink).
+    rows = sweep.rows()
+    pageouts = [po for _, _, po in rows]
+    assert pageouts == sorted(pageouts, reverse=True)
+
+    # Falsafi & Wood's regime: a 10% page cache favours LANUMA...
+    assert sweep.normalized(0.1) > sweep.lanuma_normalized * 0.9
+    # ...the paper's regime: a 70-90% page cache favours S-COMA.
+    assert sweep.normalized(0.9) < sweep.lanuma_normalized
+    crossover = sweep.crossover_fraction()
+    assert crossover is not None and crossover <= 0.9

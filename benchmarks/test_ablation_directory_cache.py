@@ -1,0 +1,40 @@
+"""Ablation: directory cache size.
+
+The paper models the directory as DRAM (22-cycle access) fronted by an
+8K-entry cache (2-cycle hit).  This bench sweeps the cache size on a
+remote-miss-heavy workload and checks that the hit rate — and with it
+execution time — degrades monotonically as the cache shrinks.
+"""
+
+import pytest
+
+from repro.harness.runner import run_one
+from repro.sim.config import MachineConfig
+
+from conftest import PRESET
+
+SIZES = (8192, 512, 16)
+
+
+def test_directory_cache_size(benchmark):
+    def sweep():
+        results = {}
+        for entries in SIZES:
+            cfg = MachineConfig(directory_cache_entries=entries)
+            results[entries] = run_one("radix", "lanuma", preset=PRESET,
+                                       config=cfg)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    rates = {}
+    for entries, result in results.items():
+        stats = result.stats
+        hits = stats.directory_cache_hits
+        misses = stats.directory_cache_misses
+        rates[entries] = hits / max(1, hits + misses)
+        print("dir cache %5d entries: hit rate %.3f, %d cycles"
+              % (entries, rates[entries], stats.execution_cycles))
+    assert rates[8192] > rates[512] > rates[16]
+    assert (results[16].stats.execution_cycles
+            >= results[8192].stats.execution_cycles)

@@ -1,0 +1,55 @@
+"""Ablation: the section 6 working-set regimes.
+
+The paper's summary conclusion:
+
+    "There is no significant performance difference for working sets
+    that fit within the L1/L2 caches.  For working sets larger than the
+    L1/L2 caches, S-COMA's page cache acts as a third level cache and
+    outperforms LA-NUMA.  For working sets larger than the page cache,
+    more paging occurs in S-COMA, and LA-NUMA performs better."
+
+A controlled synthetic block-sweep workload (random visit order) is run
+in each of the three regimes under both pure policies.
+"""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.synthetic import SyntheticWorkload
+
+REGIMES = {
+    # name: (shared_kb, sweep_fraction, scoma page-cache cap per node)
+    "fits_l2": (128, 0.5, None),
+    "fits_page_cache": (1024, 1.0, None),
+    "exceeds_page_cache": (1024, 1.0, 8),
+}
+
+
+def run(policy, shared_kb, frac, cap):
+    machine = Machine(MachineConfig(page_cache_frames=cap), policy=policy)
+    wl = SyntheticWorkload("block", shared_kb=shared_kb,
+                           sweep_fraction=frac, iterations=4,
+                           refs_per_cpu_per_iter=3000,
+                           cycles_per_ref=20, random_order=True)
+    return machine.run(wl).stats.execution_cycles
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+def test_working_set_regime(benchmark, regime):
+    shared_kb, frac, cap = REGIMES[regime]
+
+    def pair():
+        return (run("scoma", shared_kb, frac, cap),
+                run("lanuma", shared_kb, frac, None))
+
+    scoma, lanuma = benchmark.pedantic(pair, rounds=1, iterations=1)
+    ratio = lanuma / scoma
+    print("\n%s: scoma=%d lanuma=%d lanuma/scoma=%.2f"
+          % (regime, scoma, lanuma, ratio))
+    if regime == "fits_l2":
+        assert 0.9 < ratio < 1.1       # "no significant difference"
+    elif regime == "fits_page_cache":
+        assert ratio > 2.0             # S-COMA's L3 effect
+    else:
+        assert ratio < 1.0             # paging tips it to LA-NUMA

@@ -1,0 +1,50 @@
+"""Figure 7: execution time under the six page-mode policies.
+
+One benchmark per application; each runs the full policy suite
+(SCOMA, LANUMA, SCOMA-70, Dyn-FCFS, Dyn-Util, Dyn-LRU — SCOMA first to
+derive the 70% page-cache caps) and prints the figure's series for that
+application.  The shape assertions mirror the paper's section 4.3
+claims at a tolerance suitable for the scaled machine.
+"""
+
+import pytest
+
+from repro.workloads import APPLICATIONS
+
+from conftest import PRESET, get_suite
+
+#: Apps where the paper attributes large LANUMA losses to capacity
+#: misses (section 4.3: "SCOMA-70 significantly outperforms LANUMA in
+#: Barnes, LU, Ocean and Radix" — all capacity-dominated).
+CAPACITY_APPS = ("barnes", "lu", "ocean")
+
+
+@pytest.mark.parametrize("app", APPLICATIONS)
+def test_figure7_app(benchmark, app):
+    suite = benchmark.pedantic(get_suite, args=(app,),
+                               rounds=1, iterations=1)
+    print()
+    print("Figure 7 slice — %s (normalized to SCOMA):" % app)
+    for policy in ("scoma", "lanuma", "scoma-70",
+                   "dyn-fcfs", "dyn-util", "dyn-lru"):
+        print("  %-9s %.3f" % (policy, suite.normalized_time(policy)))
+
+    # Shape: SCOMA is the reference optimum; nothing beats it by more
+    # than the scaled-machine tolerance.
+    for policy in ("lanuma", "scoma-70", "dyn-fcfs", "dyn-util", "dyn-lru"):
+        assert suite.normalized_time(policy) > 0.8
+    # LANUMA pays for capacity misses on the capacity-dominated apps.
+    if app in CAPACITY_APPS:
+        assert suite.normalized_time("lanuma") > 1.3
+        if PRESET == "default":
+            # The SCOMA-70 < LANUMA ordering needs the paper-regime
+            # footprint : page-cache ratios of the default preset; the
+            # reduced presets over-thrash the 70% cache.
+            assert (suite.normalized_time("scoma-70")
+                    < suite.normalized_time("lanuma"))
+    # Adaptive policies beat the worst static configuration everywhere.
+    worst_static = max(suite.normalized_time("lanuma"),
+                       suite.normalized_time("scoma-70"))
+    best_adaptive = min(suite.normalized_time(p)
+                        for p in ("dyn-fcfs", "dyn-util", "dyn-lru"))
+    assert best_adaptive < worst_static

@@ -1,0 +1,35 @@
+"""Meta-benchmark: the simulator's own throughput.
+
+Not a paper artifact — this tracks how many simulated references per
+second the pure-Python machine sustains, so regressions in the hot
+reference path are caught.  Unlike the table/figure benchmarks this one
+uses real multi-round statistics.
+"""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_small_machine():
+    machine = Machine(MachineConfig(num_nodes=2, cpus_per_node=2,
+                                    directory_cache_entries=256),
+                      policy="scoma")
+    wl = SyntheticWorkload("block", shared_kb=64,
+                           refs_per_cpu_per_iter=2000, iterations=2)
+    return machine.run(wl)
+
+
+def test_reference_throughput(benchmark):
+    result = benchmark.pedantic(run_small_machine, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    refs = result.stats.references
+    seconds = benchmark.stats.stats.mean
+    print("\n%d simulated references in %.2fs -> %.0f refs/s"
+          % (refs, seconds, refs / seconds))
+    # Canary: the hot path should comfortably exceed 10k refs/s even on
+    # slow hardware; a 10x regression trips this.
+    assert refs / seconds > 10_000

@@ -1,0 +1,25 @@
+"""Table 1: cache miss latencies and page fault overheads.
+
+Runs the memory-latency microbenchmark on the simulated machine and
+checks every row against the paper's Table 1.
+"""
+
+import pytest
+
+from repro.harness.tables import table1
+from repro.sim.latency import PAPER_TABLE1
+from repro.workloads.microbench import run_microbenchmark
+
+
+@pytest.fixture(scope="module")
+def measured(benchmark_holder={}):
+    return run_microbenchmark()
+
+
+def test_table1_microbenchmark(benchmark):
+    measured = benchmark.pedantic(run_microbenchmark, rounds=1, iterations=1)
+    print()
+    print(table1().render())
+    for row, paper in PAPER_TABLE1.items():
+        assert abs(measured[row] - paper) <= max(2, 0.02 * paper), \
+            "%s: measured %d, paper %d" % (row, measured[row], paper)

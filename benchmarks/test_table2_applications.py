@@ -1,0 +1,30 @@
+"""Table 2: application benchmark types and data sets.
+
+Benchmarks the workload construction (setup + plan precomputation) for
+every application and prints the Table 2 comparison.
+"""
+
+import pytest
+
+from repro.harness.tables import table2
+from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
+from repro.workloads import APPLICATIONS, make_workload
+
+from conftest import PRESET
+
+
+def build_all():
+    workloads = []
+    for app in APPLICATIONS:
+        wl = make_workload(app, PRESET)
+        ipc = GlobalIpcServer(num_nodes=8, page_bytes=1024)
+        wl.setup(AddressSpaceLayout(ipc, 1024), 32)
+        workloads.append(wl)
+    return workloads
+
+
+def test_table2_workload_construction(benchmark):
+    workloads = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    assert len(workloads) == len(APPLICATIONS)
+    print()
+    print(table2().render())

@@ -1,0 +1,29 @@
+"""Table 3: page consumption and utilization (SCOMA vs LANUMA).
+
+SCOMA must allocate more real page frames than LANUMA (clients back
+shared pages with page-cache memory; LANUMA clients use imaginary
+frames) — the memory-consumption half of the paper's tradeoff.
+"""
+
+import pytest
+
+from repro.harness.tables import table3
+from repro.workloads import APPLICATIONS
+
+from conftest import get_suite
+
+
+def test_table3_page_frames_and_utilization(benchmark):
+    suites = benchmark.pedantic(
+        lambda: {app: get_suite(app) for app in APPLICATIONS},
+        rounds=1, iterations=1)
+    print()
+    print(table3(suites).render())
+    for app, suite in suites.items():
+        scoma = suite.results["scoma"].stats
+        lanuma = suite.results["lanuma"].stats
+        assert scoma.frames_allocated_total > lanuma.frames_allocated_total, app
+        imag = sum(n.imaginary_frames_allocated for n in lanuma.nodes)
+        assert imag > 0, app
+        assert 0.0 < scoma.average_utilization <= 1.0
+        assert 0.0 < lanuma.average_utilization <= 1.0

@@ -1,0 +1,30 @@
+"""Table 4: remote misses and page-outs, static configurations.
+
+The paper's shape: SCOMA has the fewest remote misses (its page cache
+absorbs capacity misses locally); LANUMA the most; SCOMA-70 sits in
+between and is the only static configuration that pages out.
+"""
+
+import pytest
+
+from repro.harness.tables import table4
+from repro.workloads import APPLICATIONS
+
+from conftest import get_suite
+
+
+def test_table4_static_configurations(benchmark):
+    suites = benchmark.pedantic(
+        lambda: {app: get_suite(app) for app in APPLICATIONS},
+        rounds=1, iterations=1)
+    print()
+    print(table4(suites).render())
+    for app, suite in suites.items():
+        scoma = suite.remote_misses("scoma")
+        lanuma = suite.remote_misses("lanuma")
+        scoma70 = suite.remote_misses("scoma-70")
+        assert scoma <= scoma70, app
+        assert scoma < lanuma, app
+        assert suite.page_outs("scoma") == 0
+        assert suite.page_outs("lanuma") == 0
+        assert suite.page_outs("scoma-70") > 0, app

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce a Figure 7 slice: one application under all six policies.
+
+Runs SCOMA, LANUMA, SCOMA-70 and the three adaptive run-time policies
+for one application and prints the normalized execution times plus the
+remote-miss / page-out tradeoff the adaptive policies navigate
+(Tables 4 and 5 of the paper).
+
+Usage::
+
+    python examples/adaptive_policies.py [workload] [preset]
+"""
+
+import sys
+
+from repro import APPLICATIONS
+from repro.harness.runner import PAPER_POLICIES, run_suite
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "lu"
+    preset = sys.argv[2] if len(sys.argv) > 2 else "small"
+    if workload not in APPLICATIONS:
+        print("unknown workload %r; choose from: %s"
+              % (workload, ", ".join(APPLICATIONS)))
+        return 1
+
+    print("Running %s (%s preset) under %d policies..."
+          % (workload, preset, len(PAPER_POLICIES)))
+    suite = run_suite(workload, preset=preset, verbose=True)
+
+    print("\n%-10s %12s %14s %10s" % ("policy", "normalized",
+                                      "remote misses", "page-outs"))
+    for policy in PAPER_POLICIES:
+        print("%-10s %12.3f %14d %10d"
+              % (policy, suite.normalized_time(policy),
+                 suite.remote_misses(policy), suite.page_outs(policy)))
+
+    print("\npage-cache caps (70%% of SCOMA client frames, per node): %s"
+          % suite.page_cache_caps)
+
+    best_adaptive = min(("dyn-fcfs", "dyn-util", "dyn-lru"),
+                        key=suite.normalized_time)
+    print("best adaptive policy: %s at %.3fx SCOMA"
+          % (best_adaptive, suite.normalized_time(best_adaptive)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

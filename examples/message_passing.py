@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Command-mode message passing demo (section 3.2).
+
+PRISM's Command-mode page frames give software a memory-mapped
+interface to the coherence controller — usable as a low-overhead
+message-passing path.  This demo pipes a work list from node 0 to
+node 1 through a command channel and compares the sender-side cost per
+message against handing the same data off through coherent shared
+memory (write-invalidate + remote miss, per Table 1).
+"""
+
+from repro.kernel.msgqueue import MessageChannel, shared_memory_handoff_cost
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+def main() -> int:
+    machine = Machine(MachineConfig(num_nodes=4, cpus_per_node=2))
+    channel = MessageChannel(machine, src_node=0, dst_node=1, capacity=16)
+
+    clock = 0
+    costs = []
+    for item in range(8):
+        done = channel.send({"task": item}, now=clock)
+        costs.append(done - clock)
+        clock = done + 100
+
+    clock += 10 * machine.config.latency.net_latency
+    received = []
+    while True:
+        out = channel.receive(clock)
+        if out is None:
+            break
+        received.append(out[0]["task"])
+        clock += 50
+
+    print("sent 8 tasks over a command-mode channel, received: %r"
+          % received)
+    print("sender-side cost per message: %d cycles" % costs[-1])
+    print("coherent shared-memory handoff of one line:  %d cycles"
+          % shared_memory_handoff_cost(machine))
+    print("command frames consumed: 1 per endpoint, no coherence traffic")
+    assert received == list(range(8))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Regenerate Table 1: the memory-latency microbenchmark.
+
+Prints the paper's Table 1 next to the analytic composite of our
+latency model and the value the simulator actually measures for each
+scenario (uncontended accesses on an idle machine).
+"""
+
+from repro.harness.tables import table1
+
+
+def main() -> int:
+    print(table1().render())
+    print("\n'Model' is the analytic composition of the calibrated "
+          "component latencies;\n'Measured' is what the simulator's "
+          "reference path produces for the scenario.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

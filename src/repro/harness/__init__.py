@@ -1,0 +1,58 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Quick use::
+
+    from repro.harness import run_paper_evaluation
+    report = run_paper_evaluation(preset="small")
+    print(report)
+
+See EXPERIMENTS.md for the paper-vs-measured record produced with the
+``default`` preset.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure7_ascii, figure7_series, figure7_table
+from repro.harness.compare import (CampaignDiff, Delta,
+                                   compare_campaigns)
+from repro.harness.export import (campaign_to_dict, figure7_csv,
+                                  load_campaign, result_to_dict, runs_csv,
+                                  save_campaign, suite_to_dict)
+from repro.harness.runner import (PAPER_POLICIES, SuiteResult,
+                                  derive_page_cache_caps, run_all_suites,
+                                  run_one, run_suite)
+from repro.harness.sweep import (SweepResult, cache_fraction_sweep,
+                                 render_sweep)
+from repro.harness.tables import (pit_sensitivity, table1, table2, table3,
+                                  table4, table5)
+from repro.workloads import APPLICATIONS
+
+
+def run_paper_evaluation(apps=APPLICATIONS, preset: str = "default",
+                         config=None, include_pit: bool = True,
+                         verbose: bool = False) -> str:
+    """Run the full evaluation campaign and render every table/figure."""
+    sections = [str(table1(config)), "", str(table2()), ""]
+    suites = run_all_suites(apps, preset=preset, config=config,
+                            verbose=verbose)
+    sections += [figure7_ascii(suites), "",
+                 str(figure7_table(suites)), "",
+                 str(table3(suites)), "",
+                 str(table4(suites)), "",
+                 str(table5(suites)), ""]
+    if include_pit:
+        sections += [str(pit_sensitivity(apps, preset=preset, config=config)),
+                     ""]
+    return "\n".join(sections)
+
+
+__all__ = [
+    "APPLICATIONS", "CampaignDiff", "Delta", "PAPER_POLICIES",
+    "SuiteResult", "SweepResult", "compare_campaigns",
+    "cache_fraction_sweep", "campaign_to_dict", "derive_page_cache_caps",
+    "figure7_ascii", "figure7_csv", "figure7_series", "figure7_table",
+    "load_campaign", "pit_sensitivity", "render_sweep", "result_to_dict",
+    "run_all_suites", "run_one", "run_paper_evaluation", "run_suite",
+    "runs_csv", "save_campaign", "suite_to_dict",
+    "table1", "table2", "table3", "table4", "table5",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``        — one workload under one policy, print the stats.
+* ``suite``      — one workload under all six policies (a Figure 7 slice).
+* ``evaluate``   — the full campaign: every table and figure.
+* ``microbench`` — Table 1 via the latency microbenchmark.
+* ``analyze``    — static characterization of a workload's references.
+* ``compare``    — diff two saved campaigns (regression check).
+* ``list``       — available workloads, policies, presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.policies import POLICY_NAMES
+from repro.sim.config import MachineConfig
+from repro.workloads import APPLICATIONS, PRESET_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRISM (HPCA 1998) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload under one policy")
+    run.add_argument("workload", choices=APPLICATIONS)
+    run.add_argument("--policy", default="scoma", choices=POLICY_NAMES)
+    run.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    run.add_argument("--page-cache", type=int, default=None,
+                     help="client page-cache frames per node")
+    run.add_argument("--migration", action="store_true",
+                     help="enable lazy home migration")
+
+    suite = sub.add_parser("suite",
+                           help="run all six policies (Figure 7 slice)")
+    suite.add_argument("workload", choices=APPLICATIONS)
+    suite.add_argument("--preset", default="small", choices=PRESET_NAMES)
+
+    evaluate = sub.add_parser("evaluate",
+                              help="regenerate every table and figure")
+    evaluate.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    evaluate.add_argument("--apps", nargs="*", default=list(APPLICATIONS),
+                          choices=APPLICATIONS, metavar="APP")
+    evaluate.add_argument("--skip-pit", action="store_true",
+                          help="skip the section 4.3 PIT study")
+    evaluate.add_argument("--save", metavar="JSON",
+                          help="also persist the campaign results to a file")
+
+    sub.add_parser("microbench", help="regenerate Table 1")
+
+    analyze = sub.add_parser(
+        "analyze", help="characterize a workload's reference streams")
+    analyze.add_argument("workload", choices=APPLICATIONS)
+    analyze.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    analyze.add_argument("--cpus", type=int, default=32)
+
+    compare = sub.add_parser(
+        "compare", help="diff two saved campaigns (regression check)")
+    compare.add_argument("before", help="baseline campaign JSON")
+    compare.add_argument("after", help="new campaign JSON")
+    compare.add_argument("--threshold", type=float, default=0.05)
+
+    sub.add_parser("list", help="list workloads, policies and presets")
+    return parser
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one workload under one policy."""
+    from repro.harness.runner import run_one
+    config = MachineConfig(page_cache_frames=args.page_cache,
+                           enable_migration=args.migration)
+    result = run_one(args.workload, args.policy, preset=args.preset,
+                     config=config)
+    print("%s / %s (%s preset)" % (args.workload, args.policy, args.preset))
+    for key, value in result.stats.summary().items():
+        print("  %-22s %s" % (key, value))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    """``repro suite``: a Figure 7 slice."""
+    from repro.harness.figures import figure7_ascii
+    from repro.harness.runner import run_suite
+    suite = run_suite(args.workload, preset=args.preset, verbose=True)
+    print()
+    print(figure7_ascii({args.workload: suite}))
+    print("\n%-10s %12s %14s %10s" % ("policy", "normalized",
+                                      "remote misses", "page-outs"))
+    for policy in suite.results:
+        print("%-10s %12.3f %14d %10d"
+              % (policy, suite.normalized_time(policy),
+                 suite.remote_misses(policy), suite.page_outs(policy)))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``repro evaluate``: the full campaign (optionally saved)."""
+    if args.save:
+        from repro.harness.export import save_campaign
+        from repro.harness.runner import run_all_suites
+        suites = run_all_suites(tuple(args.apps), preset=args.preset,
+                                verbose=True)
+        save_campaign(suites, args.save)
+        from repro.harness.figures import figure7_table
+        print(figure7_table(suites).render())
+        print("saved campaign to %s" % args.save)
+        return 0
+    from repro.harness import run_paper_evaluation
+    print(run_paper_evaluation(apps=tuple(args.apps), preset=args.preset,
+                               include_pit=not args.skip_pit, verbose=True))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """``repro analyze``: static workload characterization."""
+    from repro.workloads import make_workload
+    from repro.workloads.analysis import profile_workload
+    workload = make_workload(args.workload, args.preset)
+    profile = profile_workload(workload, num_cpus=args.cpus)
+    print("%s (%s preset, %d CPUs): %s"
+          % (args.workload, args.preset, args.cpus, workload.problem))
+    for key, value in profile.summary().items():
+        print("  %-20s %s" % (key, value))
+    return 0
+
+
+def cmd_microbench(_args) -> int:
+    """``repro microbench``: Table 1."""
+    from repro.harness.tables import table1
+    print(table1().render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: diff two saved campaigns."""
+    from repro.harness.compare import compare_campaigns
+    from repro.harness.export import load_campaign
+    diff = compare_campaigns(load_campaign(args.before),
+                             load_campaign(args.after))
+    print(diff.table(args.threshold).render())
+    if diff.missing_apps:
+        print("missing in the new campaign: %s"
+              % ", ".join(diff.missing_apps))
+    if diff.new_apps:
+        print("new in the new campaign: %s" % ", ".join(diff.new_apps))
+    return 1 if diff.regressions(args.threshold) else 0
+
+
+def cmd_list(_args) -> int:
+    """``repro list``: the available names."""
+    print("workloads: %s" % ", ".join(APPLICATIONS))
+    print("policies:  %s" % ", ".join(POLICY_NAMES))
+    print("presets:   %s" % ", ".join(PRESET_NAMES))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "suite": cmd_suite,
+        "evaluate": cmd_evaluate,
+        "microbench": cmd_microbench,
+        "analyze": cmd_analyze,
+        "compare": cmd_compare,
+        "list": cmd_list,
+    }[args.command]
+    return handler(args)

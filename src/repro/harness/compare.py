@@ -1,0 +1,80 @@
+"""Compare two saved campaigns (regression tracking).
+
+``compare_campaigns`` diffs two campaign dicts (as produced by
+:func:`repro.harness.export.save_campaign`) and reports, per
+application and policy, the change in normalized time, remote misses
+and page-outs — flagging anything that moved more than a threshold.
+Useful when changing the simulator or the workloads: run the campaign
+before and after, save both, diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.report import TextTable
+
+
+@dataclass
+class Delta:
+    """One (application, policy) pair's change between campaigns."""
+
+    app: str
+    policy: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        """Relative change; +0.10 means 10% higher than before."""
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before
+
+
+@dataclass
+class CampaignDiff:
+    """All deltas between two campaigns, plus structural differences."""
+
+    deltas: "list[Delta]" = field(default_factory=list)
+    missing_apps: "list[str]" = field(default_factory=list)
+    new_apps: "list[str]" = field(default_factory=list)
+
+    def regressions(self, threshold: float = 0.05) -> "list[Delta]":
+        """Deltas whose magnitude exceeds ``threshold`` (relative)."""
+        return [d for d in self.deltas if abs(d.relative) > threshold]
+
+    def table(self, threshold: float = 0.05) -> TextTable:
+        """Render the over-threshold deltas."""
+        table = TextTable(
+            "Campaign diff (|change| > %.0f%%)" % (100 * threshold),
+            ["Application", "Policy", "Metric", "Before", "After",
+             "Change"])
+        for delta in sorted(self.regressions(threshold),
+                            key=lambda d: -abs(d.relative)):
+            table.add_row(delta.app, delta.policy, delta.metric,
+                          delta.before, delta.after,
+                          "%+.1f%%" % (100 * delta.relative))
+        return table
+
+
+METRICS = ("normalized_time", "remote_misses", "page_outs",
+           "execution_cycles")
+
+
+def compare_campaigns(before: "dict", after: "dict") -> CampaignDiff:
+    """Diff two campaign dicts (see module docstring)."""
+    diff = CampaignDiff()
+    diff.missing_apps = sorted(set(before) - set(after))
+    diff.new_apps = sorted(set(after) - set(before))
+    for app in sorted(set(before) & set(after)):
+        b_policies = before[app]["policies"]
+        a_policies = after[app]["policies"]
+        for policy in sorted(set(b_policies) & set(a_policies)):
+            for metric in METRICS:
+                diff.deltas.append(Delta(
+                    app=app, policy=policy, metric=metric,
+                    before=float(b_policies[policy][metric]),
+                    after=float(a_policies[policy][metric])))
+    return diff

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+
+class TextTable:
+    """A simple fixed-width text table."""
+
+    def __init__(self, title: str, columns: "list[str]") -> None:
+        self.title = title
+        self.columns = columns
+        self.rows: "list[list[str]]" = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row (one cell per column)."""
+        if len(cells) != len(self.columns):
+            raise ValueError("expected %d cells, got %d"
+                             % (len(self.columns), len(cells)))
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title)]
+        out.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        out.append(sep)
+        for row in self.rows:
+            out.append(" | ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                                  for c, w in zip(row, widths)))
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+    except ValueError:
+        return False
+    return True
+
+
+def ratio(ours: float, paper: float) -> str:
+    """Format an ours-vs-paper ratio for shape comparison."""
+    if paper == 0:
+        return "n/a"
+    return "%.2fx" % (ours / paper)

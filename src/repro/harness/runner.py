@@ -1,0 +1,109 @@
+"""Experiment runner: one workload under one or many policies.
+
+The SCOMA-70 and adaptive configurations are defined *relative to the
+SCOMA run*: the page cache at each node is capped at 70% of the client
+S-COMA frames that node allocated under SCOMA (section 4.2).  The suite
+runner therefore always runs SCOMA first, derives the per-node caps,
+and reuses them for every capped policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine, RunResult
+from repro.workloads import make_workload
+
+#: Policies in the paper's Figure 7 order.
+PAPER_POLICIES = ("scoma", "lanuma", "scoma-70",
+                  "dyn-fcfs", "dyn-util", "dyn-lru")
+
+#: Policies that run with the 70%-of-SCOMA page-cache cap.
+CAPPED_POLICIES = ("scoma-70", "dyn-fcfs", "dyn-util", "dyn-lru",
+                   "dyn-bidir")
+
+
+def run_one(workload: str, policy: str, preset: str = "default",
+            config: "MachineConfig | None" = None,
+            page_cache_override: "list[int] | None" = None) -> RunResult:
+    """Run one workload under one policy and return its result."""
+    machine = Machine(config, policy=policy,
+                      page_cache_override=page_cache_override)
+    return machine.run(make_workload(workload, preset))
+
+
+def derive_page_cache_caps(scoma_result: RunResult,
+                           fraction: float = 0.7) -> "list[int]":
+    """Per-node page-cache capacities: ``fraction`` of the SCOMA run's
+    peak client S-COMA frame count at each node (section 4.2)."""
+    caps = []
+    for node_stats in scoma_result.stats.nodes:
+        caps.append(max(1, int(node_stats.scoma_client_frames_peak * fraction)))
+    return caps
+
+
+@dataclass
+class SuiteResult:
+    """All policies' results for one workload."""
+
+    workload: str
+    preset: str
+    results: "dict[str, RunResult]" = field(default_factory=dict)
+    page_cache_caps: "list[int]" = field(default_factory=list)
+
+    def normalized_time(self, policy: str,
+                        baseline: str = "scoma") -> float:
+        """Execution time normalized to the baseline (Figure 7)."""
+        base = self.results[baseline].stats.execution_cycles
+        return self.results[policy].stats.execution_cycles / base
+
+    def remote_misses(self, policy: str) -> int:
+        """Remote misses under ``policy`` (Tables 4/5)."""
+        return self.results[policy].stats.remote_misses
+
+    def page_outs(self, policy: str) -> int:
+        """Client page-outs under ``policy`` (Tables 4/5)."""
+        return self.results[policy].stats.client_page_outs
+
+
+def run_suite(workload: str, policies: "tuple[str, ...]" = PAPER_POLICIES,
+              preset: str = "default",
+              config: "MachineConfig | None" = None,
+              cache_fraction: float = 0.7,
+              verbose: bool = False) -> SuiteResult:
+    """Run one workload under a set of policies (SCOMA first)."""
+    suite = SuiteResult(workload=workload, preset=preset)
+    ordered = ["scoma"] + [p for p in policies if p != "scoma"]
+    caps: "list[int] | None" = None
+    for policy in ordered:
+        override = None
+        if policy in CAPPED_POLICIES:
+            if caps is None:
+                raise RuntimeError(
+                    "capped policy %r needs the scoma run first" % policy)
+            override = caps
+        if verbose:
+            print("  running %s / %s ..." % (workload, policy), flush=True)
+        result = run_one(workload, policy, preset=preset, config=config,
+                         page_cache_override=override)
+        suite.results[policy] = result
+        if policy == "scoma":
+            caps = derive_page_cache_caps(result, cache_fraction)
+            suite.page_cache_caps = caps
+    return suite
+
+
+def run_all_suites(apps: "tuple[str, ...]",
+                   policies: "tuple[str, ...]" = PAPER_POLICIES,
+                   preset: str = "default",
+                   config: "MachineConfig | None" = None,
+                   verbose: bool = False) -> "dict[str, SuiteResult]":
+    """Run every application's policy suite (the Figure 7 campaign)."""
+    suites = {}
+    for app in apps:
+        if verbose:
+            print("== %s ==" % app, flush=True)
+        suites[app] = run_suite(app, policies, preset=preset, config=config,
+                                verbose=verbose)
+    return suites

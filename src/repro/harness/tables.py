@@ -1,0 +1,145 @@
+"""Regenerate the paper's tables from simulation results.
+
+Each ``tableN`` function returns a :class:`~repro.harness.report.TextTable`
+with our measurements side by side with the paper's published values
+(absolute numbers differ by construction — scaled machine — but the
+orderings and ratios should match; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.harness import paperdata
+from repro.harness.report import TextTable
+from repro.sim.latency import PAPER_TABLE1, LatencyModel
+from repro.workloads import make_workload
+from repro.workloads.microbench import run_microbenchmark
+
+TABLE1_ROWS = (
+    ("l2_hit", "L1 miss, L2 hit"),
+    ("local_memory", "Uncached, line in local memory"),
+    ("remote_clean", "Uncached, line in remote memory"),
+    ("2party_modified", "2-party read/write to a modified line"),
+    ("3party_modified", "3-party read/write to a modified line"),
+    ("2party_write_shared", "2-party write to shared line"),
+    ("write_shared_base", "(3+n)-party write to shared line (base)"),
+    ("write_shared_per_sharer", "(3+n)-party write: per extra sharer"),
+    ("tlb_miss", "TLB miss"),
+    ("fault_local", "In-core page fault, local home"),
+    ("fault_remote", "In-core page fault, remote home"),
+)
+
+
+def table1(config=None) -> TextTable:
+    """Table 1: cache miss latencies and page fault overheads."""
+    measured = run_microbenchmark(config)
+    lat = (config.latency if config is not None else LatencyModel())
+    model = {
+        "l2_hit": lat.expected_l2_hit,
+        "local_memory": lat.expected_local_memory,
+        "remote_clean": lat.expected_remote_clean,
+        "2party_modified": lat.expected_2party_modified,
+        "3party_modified": lat.expected_3party_modified,
+        "2party_write_shared": lat.expected_2party_write_shared,
+        "write_shared_base": lat.expected_write_shared(0),
+        "write_shared_per_sharer": lat.inval_issue,
+        "tlb_miss": lat.tlb_miss,
+        "fault_local": lat.expected_fault_local,
+        "fault_remote": lat.expected_fault_remote,
+    }
+    table = TextTable(
+        "Table 1: memory access latencies (cycles)",
+        ["Memory access type", "Paper", "Model", "Measured"])
+    for key, label in TABLE1_ROWS:
+        table.add_row(label, PAPER_TABLE1[key], model[key], measured[key])
+    return table
+
+
+def table2() -> TextTable:
+    """Table 2: application benchmark types and data sets."""
+    table = TextTable(
+        "Table 2: application benchmarks and data sets",
+        ["Application", "Problem", "Paper size", "Our size"])
+    for app in paperdata.PAPER_APPS:
+        desc, paper_size = paperdata.TABLE2[app]
+        ours = make_workload(app).problem
+        table.add_row(app, desc, paper_size, ours)
+    return table
+
+
+def table3(suites) -> TextTable:
+    """Table 3: page consumption and utilization, SCOMA vs LANUMA."""
+    table = TextTable(
+        "Table 3: page frames allocated and average utilization",
+        ["Application",
+         "Frames SCOMA", "Frames LANUMA", "Util SCOMA", "Util LANUMA",
+         "Paper frames S/L", "Paper util S/L"])
+    for app, suite in suites.items():
+        s = suite.results["scoma"].stats
+        l = suite.results["lanuma"].stats
+        ps, pl, pus, pul = paperdata.TABLE3[app]
+        table.add_row(app,
+                      s.frames_allocated_total, l.frames_allocated_total,
+                      s.average_utilization, l.average_utilization,
+                      "%d / %d" % (ps, pl),
+                      "%.3f / %.3f" % (pus, pul))
+    return table
+
+
+def table4(suites) -> TextTable:
+    """Table 4: remote misses (static configs) and SCOMA-70 page-outs."""
+    table = TextTable(
+        "Table 4: remote misses and page-outs, static configurations",
+        ["Application", "SCOMA", "LANUMA", "SCOMA-70", "Pageouts-70",
+         "Paper (S/L/70/po)"])
+    for app, suite in suites.items():
+        ps, pl, p70, ppo = paperdata.TABLE4[app]
+        table.add_row(app,
+                      suite.remote_misses("scoma"),
+                      suite.remote_misses("lanuma"),
+                      suite.remote_misses("scoma-70"),
+                      suite.page_outs("scoma-70"),
+                      "%d/%d/%d/%d" % (ps, pl, p70, ppo))
+    return table
+
+
+def table5(suites) -> TextTable:
+    """Table 5: remote misses and page-outs, adaptive configurations."""
+    table = TextTable(
+        "Table 5: remote misses and page-outs, adaptive configurations",
+        ["Application", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU",
+         "PO Util", "PO LRU", "Paper (F/U/L)"])
+    for app, suite in suites.items():
+        pf, pu, pl, ppu, ppl = paperdata.TABLE5[app]
+        table.add_row(app,
+                      suite.remote_misses("dyn-fcfs"),
+                      suite.remote_misses("dyn-util"),
+                      suite.remote_misses("dyn-lru"),
+                      suite.page_outs("dyn-util"),
+                      suite.page_outs("dyn-lru"),
+                      "%d/%d/%d" % (pf, pu, pl))
+    return table
+
+
+def pit_sensitivity(apps, preset: str = "default", config=None) -> TextTable:
+    """Section 4.3: SRAM (2-cycle) vs DRAM (10-cycle) PIT."""
+    from dataclasses import replace
+
+    from repro.harness.runner import run_one
+    from repro.sim.config import MachineConfig
+    from repro.sim.latency import LatencyModel
+
+    base_cfg = config if config is not None else MachineConfig()
+    dram_cfg = replace(base_cfg, latency=LatencyModel(pit_access=10))
+    table = TextTable(
+        "Section 4.3: impact of PIT access time (LANUMA clients)",
+        ["Application", "SRAM PIT cycles", "DRAM PIT cycles",
+         "Slowdown", "Paper slowdown"])
+    for app in apps:
+        sram = run_one(app, "lanuma", preset=preset, config=base_cfg)
+        dram = run_one(app, "lanuma", preset=preset, config=dram_cfg)
+        slow = (dram.stats.execution_cycles / sram.stats.execution_cycles) - 1
+        table.add_row(app, sram.stats.execution_cycles,
+                      dram.stats.execution_cycles,
+                      "%.1f%%" % (100 * slow),
+                      "%.0f%%" % (100 * paperdata.PIT_SLOWDOWN[app]))
+    return table

@@ -1,0 +1,89 @@
+"""Inter-node protocol message vocabulary.
+
+The simulator resolves transactions atomically, so messages are not
+queued objects in the hot path; they are *accounted* — every protocol
+step increments a per-node counter keyed by :class:`MessageKind`, and
+the paging / migration layers construct :class:`Message` records where
+the extra structure is useful (tests, traces, the command interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, auto
+
+
+class MessageKind(IntEnum):
+    """Every message type the nodes exchange."""
+
+    # Coherence protocol.
+    READ_REQ = auto()          # client -> home: shared copy wanted
+    READ_EXCL_REQ = auto()     # client -> home: exclusive copy wanted
+    UPGRADE_REQ = auto()       # client -> home: shared -> exclusive
+    DATA_REPLY = auto()        # home/owner -> client: line data
+    ACK = auto()               # generic acknowledgement
+    INVALIDATE = auto()        # home -> sharer
+    INTERVENTION = auto()      # home -> owner: fetch / downgrade
+    WRITEBACK = auto()         # owner -> home: dirty line
+    REPLACEMENT_HINT = auto()  # owner -> home: clean exclusive dropped
+    FORWARD = auto()           # stale home -> static home -> dynamic home
+
+    # External paging (section 3.3).
+    PAGE_IN_REQ = auto()       # client kernel -> home kernel
+    PAGE_IN_REPLY = auto()     # home kernel -> client kernel
+    PAGE_OUT_REQ = auto()      # home kernel -> client kernels
+    PAGE_OUT_ACK = auto()
+    CLIENT_PAGE_OUT = auto()   # client kernel -> home kernel
+    STATUS_RESET = auto()      # home unmapped: reset home-page-status
+
+    # Global naming (section 3.4).
+    SEG_CREATE = auto()        # kernel -> global IPC server
+    SEG_ATTACH = auto()
+    SEG_REPLY = auto()
+
+    # Lazy migration (section 3.5).
+    MIGRATE_REQ = auto()       # static home -> old/new dynamic homes
+    MIGRATE_ACK = auto()
+
+    # Command-mode interface (section 3.2).
+    COMMAND = auto()           # processor -> controller, memory mapped
+
+
+@dataclass
+class Message:
+    """A structured protocol message (used off the hot path)."""
+
+    kind: MessageKind
+    src_node: int
+    dst_node: int
+    gpage: int = -1
+    line_in_page: int = -1
+    #: Frame-number hint for the receiver's reverse translation; a
+    #: correct guess lets the receiver skip the PIT hash search.
+    frame_guess: "int | None" = None
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.src_node < 0 or self.dst_node < 0:
+            raise ValueError("message endpoints must be valid node ids")
+
+
+class MessageLog:
+    """Per-node counters of protocol messages sent, by kind."""
+
+    __slots__ = ("sent",)
+
+    def __init__(self) -> None:
+        self.sent: "dict[MessageKind, int]" = {}
+
+    def record(self, kind: MessageKind, count: int = 1) -> None:
+        """Count ``count`` sends of ``kind``."""
+        self.sent[kind] = self.sent.get(kind, 0) + count
+
+    def total(self) -> int:
+        """All messages sent."""
+        return sum(self.sent.values())
+
+    def get(self, kind: MessageKind) -> int:
+        """Messages of one kind sent."""
+        return self.sent.get(kind, 0)

@@ -1,0 +1,53 @@
+"""Interconnection network model.
+
+The paper uses a fixed one-way end-to-end latency of 120 cycles and
+explicitly does *not* model contention inside the network switches
+("Latency and contention is accounted for at all system resources
+except the processor internals and network switches").  We therefore
+model the network as: per-node network-interface (NI) occupancy — which
+*is* a system resource — plus a flat flight latency.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Resource
+from repro.sim.latency import LatencyModel
+
+
+class Network:
+    """Flat-latency network with per-node NI injection occupancy."""
+
+    #: Cycles a message occupies the sending NI (header + line data fit
+    #: in a handful of flits on a 16-byte datapath).
+    NI_OCCUPANCY = 8
+
+    def __init__(self, num_nodes: int, lat: LatencyModel) -> None:
+        self.lat = lat
+        self.interfaces = [Resource("node%d.ni" % n) for n in range(num_nodes)]
+        self.messages = 0
+        self.hops_charged = 0
+
+    def send(self, src_node: int, dst_node: int, now: int) -> int:
+        """One message hop; returns its arrival time at ``dst_node``.
+
+        Intra-node "hops" (src == dst) are free — the controller talks
+        to itself through the bus, which the caller already charged.
+        """
+        if src_node == dst_node:
+            return now
+        self.messages += 1
+        self.hops_charged += 1
+        # NI occupancy is carved out of the one-way latency so that an
+        # uncontended hop costs exactly ``net_latency`` end to end.
+        injected = self.interfaces[src_node].acquire(now, self.NI_OCCUPANCY)
+        return injected + self.lat.net_latency - self.NI_OCCUPANCY
+
+    def multicast(self, src_node: int, dst_nodes: "list[int]", now: int) -> "list[int]":
+        """Send to several nodes; injections serialize at the source NI.
+
+        Returns per-destination arrival times, in ``dst_nodes`` order.
+        """
+        arrivals = []
+        for dst in dst_nodes:
+            arrivals.append(self.send(src_node, dst, now))
+        return arrivals

@@ -1,0 +1,124 @@
+"""Command-mode message passing (section 3.2).
+
+Command-mode page frames "implement a memory-mapped command interface
+between the local processors and the coherence controller ... This
+command interface may also be used to provide a low-overhead message
+passing interface to software."
+
+This module builds that software facility: a :class:`MessageChannel` is
+a pair of command-mode frames (one per endpoint node).  A send is a
+burst of uncached stores into the local command frame; the controller
+forwards the payload to the peer's controller, which deposits it in the
+receiver's command frame and the receiver polls it out with uncached
+loads.  No cache coherence protocol runs — the cost is bus + controller
++ network occupancy only, which is what makes it "low-overhead"
+relative to shared-memory handoff (miss + invalidate + miss).
+
+Timing: ``send`` charges the sender's bus/controller/NI and the
+receiver-side controller deposit; ``receive`` charges the receiver's
+polling loads.  Payload *contents* are carried for real (the channel is
+usable as a data path in tests/examples).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.modes import PageMode
+from repro.interconnect.messages import MessageKind
+
+
+class ChannelError(RuntimeError):
+    """Misuse of a command-mode message channel."""
+
+
+class MessageChannel:
+    """A unidirectional command-mode channel between two nodes."""
+
+    def __init__(self, machine, src_node: int, dst_node: int,
+                 capacity: int = 64) -> None:
+        if src_node == dst_node:
+            raise ChannelError("channel endpoints must be distinct nodes")
+        if capacity < 1:
+            raise ChannelError("capacity must be positive")
+        self.machine = machine
+        self.src = machine.nodes[src_node]
+        self.dst = machine.nodes[dst_node]
+        self.capacity = capacity
+        self.lat = machine.config.latency
+        self._queue: "deque[object]" = deque()
+        self.sends = 0
+        self.receives = 0
+        self.full_rejections = 0
+
+        # Each endpoint pins a command-mode frame; the controller
+        # recognizes accesses to it as commands, not memory traffic.
+        self.src_frame = self._alloc_command_frame(self.src)
+        self.dst_frame = self._alloc_command_frame(self.dst)
+
+    @staticmethod
+    def _alloc_command_frame(node) -> int:
+        frame = node.pools.alloc_real()
+        node.pit.install(frame, gpage=-1, static_home=node.node_id,
+                         dynamic_home=node.node_id, home_frame=frame,
+                         mode=PageMode.COMMAND)
+        node.stats.frames_allocated += 1
+        return frame
+
+    # -- data path ---------------------------------------------------------
+
+    def send(self, payload, now: int) -> int:
+        """Send ``payload`` at time ``now``; returns the completion time
+        at the *sender* (the flight to the receiver is asynchronous).
+
+        Raises :class:`ChannelError` when the receive queue is full
+        (back-pressure is software's problem, as on real NIs).
+        """
+        if len(self._queue) >= self.capacity:
+            self.full_rejections += 1
+            raise ChannelError("channel full (capacity %d)" % self.capacity)
+        lat = self.lat
+        # Uncached stores of the payload into the command frame.
+        t = self.src.bus.request(now)
+        t = self.src.bus.transfer(t)
+        # The controller picks the command up and injects the message.
+        t = self.src.controller.resource.acquire(t, lat.ctrl_dispatch)
+        self.src.msglog.record(MessageKind.COMMAND)
+        arrival = self.machine.network.send(self.src.node_id,
+                                            self.dst.node_id, t)
+        # Receiver-side controller deposits into the command frame
+        # (off the sender's critical path).
+        self.dst.controller.resource.acquire(arrival, lat.ctrl_dispatch)
+        self._queue.append((payload, arrival + lat.ctrl_dispatch))
+        self.sends += 1
+        return t
+
+    def receive(self, now: int) -> "tuple[object, int] | None":
+        """Poll for a message at time ``now``.
+
+        Returns ``(payload, completion_time)`` if a message has arrived
+        by ``now`` (plus the polling load cost), else ``None``.
+        """
+        lat = self.lat
+        t = self.dst.bus.request(now)
+        t = self.dst.bus.transfer(t)
+        if not self._queue:
+            return None
+        payload, ready = self._queue[0]
+        if ready > now:
+            return None
+        self._queue.popleft()
+        self.receives += 1
+        return payload, t
+
+    def pending(self) -> int:
+        """Messages queued at the receiver."""
+        return len(self._queue)
+
+
+def shared_memory_handoff_cost(machine) -> int:
+    """The cost the channel competes against: handing one line of data
+    through coherent shared memory (producer write-invalidate + consumer
+    remote miss), per Table 1."""
+    lat = machine.config.latency
+    return lat.expected_2party_write_shared + lat.expected_remote_clean

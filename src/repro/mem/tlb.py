@@ -1,0 +1,58 @@
+"""Per-CPU translation lookaside buffer.
+
+PRISM keeps virtual-to-physical translations *node private* (section 3),
+so a TLB maps the process virtual page number to a node-local frame
+number.  Because translations are private, page mode changes and page
+migrations never require global ("shootdown") TLB invalidations — only
+the CPUs of the local node are touched, which the kernel model exploits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """Fully-associative LRU TLB of ``entries`` translations."""
+
+    __slots__ = ("entries", "_map", "hits", "misses")
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._map: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpage: int) -> "int | None":
+        """Frame backing ``vpage``, or ``None`` on a TLB miss."""
+        frame = self._map.get(vpage)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(vpage)
+        self.hits += 1
+        return frame
+
+    def insert(self, vpage: int, frame: int) -> None:
+        """Install a translation, evicting the LRU entry if full."""
+        if vpage in self._map:
+            self._map.move_to_end(vpage)
+        elif len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[vpage] = frame
+
+    def invalidate(self, vpage: int) -> bool:
+        """Drop the translation for ``vpage``; True if it was present."""
+        return self._map.pop(vpage, None) is not None
+
+    def flush(self) -> None:
+        """Drop every translation."""
+        self._map.clear()
+
+    def __contains__(self, vpage: int) -> bool:
+        return vpage in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)

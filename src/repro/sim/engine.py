@@ -1,0 +1,149 @@
+"""Discrete-event primitives for the PRISM simulator.
+
+The machine model (``repro.sim.machine``) advances per-CPU clocks and
+resolves each memory reference atomically; contention at shared hardware
+is modelled with :class:`Resource` objects that serialize access FCFS
+("next free time" semantics).  Synchronization between the simulated
+CPUs uses :class:`Barrier` and :class:`LockTable`.
+
+This approximation — one outstanding miss per CPU, transactions resolved
+atomically at their issue order — matches the blocking, in-order
+processors of the paper's era and keeps the simulator fast enough to run
+SPLASH-style kernels in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Resource:
+    """A shared hardware resource with FCFS occupancy.
+
+    ``acquire(now, duration)`` returns the time at which the requested
+    use *completes*; the wait (if the resource is busy) is the contention
+    the paper's simulator accounts for "at all system resources".
+    """
+
+    __slots__ = ("name", "next_free", "busy_cycles", "acquisitions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.next_free = 0
+        self.busy_cycles = 0
+        self.acquisitions = 0
+
+    def acquire(self, now: int, duration: int) -> int:
+        """Occupy the resource for ``duration`` cycles starting no
+        earlier than ``now``; returns the completion time."""
+        start = self.next_free if self.next_free > now else now
+        end = start + duration
+        self.next_free = end
+        self.busy_cycles += duration
+        self.acquisitions += 1
+        return end
+
+    def peek_wait(self, now: int) -> int:
+        """Cycles a request arriving at ``now`` would wait before use."""
+        return self.next_free - now if self.next_free > now else 0
+
+    def utilization(self, total_cycles: int) -> float:
+        """Busy fraction of the resource over ``total_cycles``."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Resource(%r, next_free=%d)" % (self.name, self.next_free)
+
+
+@dataclass
+class Barrier:
+    """An engine-level barrier across ``parties`` simulated CPUs.
+
+    CPUs arrive at possibly different simulated times; all of them leave
+    at ``max(arrival times) + cost``.
+    """
+
+    parties: int
+    cost: int = 0
+    waiting: "list[int]" = field(default_factory=list)   # cpu ids
+    arrival_max: int = 0
+    episodes: int = 0
+
+    def arrive(self, cpu_id: int, now: int) -> "list[tuple[int, int]] | None":
+        """Register an arrival.
+
+        Returns ``None`` while the barrier is still filling.  When the
+        last party arrives, returns ``[(cpu_id, release_time), ...]`` for
+        every waiting CPU (including the caller) and resets the barrier
+        for reuse.
+        """
+        if now > self.arrival_max:
+            self.arrival_max = now
+        self.waiting.append(cpu_id)
+        if len(self.waiting) < self.parties:
+            return None
+        release = self.arrival_max + self.cost
+        released = [(cpu, release) for cpu in self.waiting]
+        self.waiting = []
+        self.arrival_max = 0
+        self.episodes += 1
+        return released
+
+
+class LockTable:
+    """Simulated locks with FCFS handoff.
+
+    An acquire of a free lock is granted immediately (plus ``cost``
+    cycles of read-modify-write traffic).  An acquire of a held lock
+    *blocks* the CPU: the machine parks it until the holder releases, at
+    which point :meth:`release` hands the lock to the first waiter and
+    returns its wake-up time.
+    """
+
+    def __init__(self, cost: int = 0) -> None:
+        self.cost = cost
+        self._holder: "dict[int, int]" = {}
+        self._waiters: "dict[int, list[int]]" = {}
+        self.acquires = 0
+        self.contended_acquires = 0
+
+    def acquire(self, lock_id: int, cpu_id: int, now: int) -> "int | None":
+        """Try to acquire ``lock_id`` at time ``now``.
+
+        Returns the grant time, or ``None`` if the lock is held (the CPU
+        is queued and will be woken by the holder's release).
+        """
+        if lock_id in self._holder:
+            self._waiters.setdefault(lock_id, []).append(cpu_id)
+            self.contended_acquires += 1
+            return None
+        self._holder[lock_id] = cpu_id
+        self.acquires += 1
+        return now + self.cost
+
+    def release(self, lock_id: int, cpu_id: int, now: int) -> "tuple[int, int] | None":
+        """Release ``lock_id``.
+
+        If a CPU is waiting, hand it the lock and return
+        ``(next_cpu_id, grant_time)``; otherwise return ``None``.
+        """
+        holder = self._holder.get(lock_id)
+        if holder != cpu_id:
+            raise RuntimeError(
+                "cpu %d releasing lock %d held by %r" % (cpu_id, lock_id, holder))
+        waiters = self._waiters.get(lock_id)
+        if waiters:
+            next_cpu = waiters.pop(0)
+            if not waiters:
+                del self._waiters[lock_id]
+            self._holder[lock_id] = next_cpu
+            self.acquires += 1
+            return next_cpu, now + self.cost
+        del self._holder[lock_id]
+        return None
+
+    def holder(self, lock_id: int) -> "int | None":
+        """The CPU currently holding ``lock_id``, if any."""
+        return self._holder.get(lock_id)

@@ -1,0 +1,551 @@
+"""The simulated PRISM machine.
+
+Glues together the substrates — CPUs with L1/L2 hierarchies and TLBs,
+split-transaction buses, node memories, PITs, directories, coherence
+controllers, per-node kernels, and the network — and runs workloads
+over them with a discrete-event loop.
+
+Execution model: every CPU runs a reference generator; the machine
+interleaves CPUs in timestamp order (each CPU's next reference resolves
+atomically, with contention modelled by resource next-free times — see
+``repro.sim.engine``).  Barriers and locks park CPUs and wake them from
+the releasing CPU's event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.controller import CoherenceController
+from repro.core.directory import Directory
+from repro.core.migration import MigrationManager
+from repro.core.modes import PageMode
+from repro.core.policies import PageModePolicy, make_policy
+from repro.interconnect.messages import MessageLog
+from repro.interconnect.network import Network
+from repro.kernel.frames import FramePools
+from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
+from repro.kernel.vm import NodeKernel
+from repro.mem.bus import MemoryBus, NodeMemory
+from repro.mem.cache import CacheHierarchy, LineState, NodePresence
+from repro.mem.tlb import Tlb
+from repro.sim.config import MachineConfig
+from repro.sim.engine import Barrier, LockTable, Resource
+from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
+                           OP_UNLOCK, OP_WRITE)
+from repro.sim.stats import CpuStats, MachineStats, NodeStats
+
+
+class Cpu:
+    """One simulated processor."""
+
+    __slots__ = ("cpu_id", "local_id", "node", "hierarchy", "tlb", "stats",
+                 "time", "gen", "done")
+
+    def __init__(self, cpu_id: int, local_id: int, node: "Node",
+                 config: MachineConfig) -> None:
+        self.cpu_id = cpu_id
+        self.local_id = local_id
+        self.node = node
+        self.hierarchy = CacheHierarchy(config.l1, config.l2)
+        self.tlb = Tlb(config.tlb_entries)
+        self.stats = CpuStats(cpu_id)
+        self.time = 0
+        self.gen = None
+        self.done = False
+
+
+class Node:
+    """One SMP node: CPUs, bus, memory, controller, kernel."""
+
+    def __init__(self, node_id: int, machine: "Machine") -> None:
+        config = machine.config
+        self.node_id = node_id
+        self.machine = machine
+        self.stats = NodeStats(node_id)
+        self.msglog = MessageLog()
+        self.bus = MemoryBus(node_id, config.latency)
+        self.memory = NodeMemory(node_id, config.latency)
+        self.presence = NodePresence()
+        self.pools = FramePools(node_id,
+                                page_cache_frames=config.page_cache_frames,
+                                total_frames=config.total_frames_per_node)
+        from repro.core.pit import PageInformationTable
+        self.pit = PageInformationTable(node_id, config.lines_per_page)
+        self.directory = Directory(node_id, config.lines_per_page,
+                                   config.directory_cache_entries)
+        self.kernel_resource = Resource("node%d.kernel" % node_id)
+        self.cpus: "list[Cpu]" = []
+        self.controller = CoherenceController(self, machine)
+        self.kernel: "NodeKernel | None" = None  # set by the machine
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    workload: str
+    policy: str
+    config: MachineConfig
+    stats: MachineStats
+
+    @property
+    def execution_cycles(self) -> int:
+        """Wall-clock cycles of the parallel phase."""
+        return self.stats.execution_cycles
+
+
+class Machine:
+    """A simulated PRISM machine."""
+
+    def __init__(self, config: "MachineConfig | None" = None,
+                 policy: "PageModePolicy | str" = "scoma",
+                 page_cache_override: "list[int] | None" = None) -> None:
+        """Build a machine.
+
+        ``page_cache_override`` gives a per-node client page-cache
+        capacity (in frames), as the SCOMA-70 experiment requires (70%
+        of each node's SCOMA-run client frame count); it takes
+        precedence over ``config.page_cache_frames``.
+        """
+        self.config = config if config is not None else MachineConfig()
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+        if (page_cache_override is not None
+                and len(page_cache_override) != self.config.num_nodes):
+            raise ValueError("page_cache_override must have one entry per node")
+        if self.config.enable_migration and self.policy.name == "ccnuma":
+            raise ValueError(
+                "CC-NUMA encodes home locations in physical addresses, so "
+                "lazy home migration is impossible (section 5)")
+        self._page_cache_override = page_cache_override
+        cfg = self.config
+        lat = cfg.latency
+
+        page = cfg.page_bytes
+        if page & (page - 1):
+            raise ValueError("page size must be a power of two")
+        line = cfg.line_bytes
+        if line & (line - 1):
+            raise ValueError("line size must be a power of two")
+        self._page_shift = page.bit_length() - 1
+        self._line_shift = line.bit_length() - 1
+        self._lpp = cfg.lines_per_page
+        self._lip_mask = self._lpp - 1
+
+        self.network = Network(cfg.num_nodes, lat)
+        self.ipc = GlobalIpcServer(cfg.num_nodes, cfg.page_bytes)
+        self.layout = AddressSpaceLayout(self.ipc, cfg.page_bytes)
+        self.migration = MigrationManager(self)
+
+        self.nodes: "list[Node]" = []
+        self.cpus: "list[Cpu]" = []
+        for n in range(cfg.num_nodes):
+            node = Node(n, self)
+            if page_cache_override is not None:
+                node.pools.page_cache_frames = page_cache_override[n]
+            node.kernel = NodeKernel(node, self, self.policy)
+            for c in range(cfg.cpus_per_node):
+                cpu = Cpu(len(self.cpus), c, node, cfg)
+                node.cpus.append(cpu)
+                self.cpus.append(cpu)
+            self.nodes.append(node)
+
+        self.locks = LockTable(cost=lat.lock_cost)
+        self._barriers: "dict[int, Barrier]" = {}
+        self._ref_gap = 3
+        #: Nodes that have fail-stopped (section 3.3 failure model).
+        self.failed_nodes: "set[int]" = set()
+        self.stats = MachineStats(
+            nodes=[n.stats for n in self.nodes],
+            cpus=[c.stats for c in self.cpus])
+
+    # ------------------------------------------------------------------
+    # Home lookup.
+    # ------------------------------------------------------------------
+
+    def static_home_of(self, gpage: int) -> int:
+        """The page's fixed static home (round robin)."""
+        return self.ipc.home_of(gpage)
+
+    def dynamic_home_of(self, gpage: int) -> int:
+        """The page's current dynamic home (migratable)."""
+        return self.migration.home_of(gpage)
+
+    # ------------------------------------------------------------------
+    # Running workloads.
+    # ------------------------------------------------------------------
+
+    def run(self, workload) -> RunResult:
+        """Set up ``workload`` and simulate it to completion."""
+        workload.setup(self.layout, len(self.cpus))
+        # Instructions executed around each memory reference (address
+        # arithmetic, loop control) — keeps issue rates realistic for an
+        # in-order CPU instead of back-to-back memory operations.
+        self._ref_gap = getattr(workload, "cycles_per_ref", 3)
+        for cpu in self.cpus:
+            cpu.gen = workload.generator(cpu.cpu_id, len(self.cpus))
+        self._event_loop()
+        self._finalize()
+        return RunResult(workload=workload.name, policy=self.policy.name,
+                         config=self.config, stats=self.stats)
+
+    def _event_loop(self) -> None:
+        heap = [(0, cpu.cpu_id) for cpu in self.cpus]
+        heapq.heapify(heap)
+        self._heap = heap
+        remaining = len(self.cpus)
+        while heap:
+            t, cid = heapq.heappop(heap)
+            cpu = self.cpus[cid]
+            if cpu.done:
+                continue
+            cpu.time = t if t > cpu.time else cpu.time
+            limit = heap[0][0] if heap else None
+            status = self._run_cpu(cpu, limit)
+            if status == "ready":
+                heapq.heappush(heap, (cpu.time, cid))
+            elif status == "done":
+                remaining -= 1
+        if remaining:
+            stuck = [c.cpu_id for c in self.cpus if not c.done]
+            raise RuntimeError(
+                "deadlock: CPUs %r blocked with empty event heap (mismatched "
+                "barriers or locks in the workload?)" % stuck)
+
+    def _wake(self, cpu_id: int, when: int) -> None:
+        cpu = self.cpus[cpu_id]
+        cpu.time = when
+        heapq.heappush(self._heap, (when, cpu_id))
+
+    def _run_cpu(self, cpu: Cpu, limit: "int | None") -> str:
+        """Advance ``cpu`` until its clock passes ``limit`` or it blocks.
+
+        Returns "ready" (requeue), "blocked" (a barrier/lock/wake will
+        requeue it) or "done".
+        """
+        gen = cpu.gen
+        time = cpu.time
+        stats = cpu.stats
+        while limit is None or time <= limit:
+            op = next(gen, None)
+            if op is None:
+                cpu.done = True
+                cpu.time = time
+                stats.finish_time = time
+                return "done"
+            kind = op[0]
+            if kind == OP_READ:
+                time = self._access(cpu, op[1], False, time + self._ref_gap)
+                stats.references += 1
+                stats.reads += 1
+            elif kind == OP_WRITE:
+                time = self._access(cpu, op[1], True, time + self._ref_gap)
+                stats.references += 1
+                stats.writes += 1
+            elif kind == OP_COMPUTE:
+                time += op[1]
+            elif kind == OP_BARRIER:
+                stats.barrier_waits += 1
+                barrier = self._barriers.get(op[1])
+                if barrier is None:
+                    barrier = Barrier(parties=len(self.cpus),
+                                      cost=self.config.latency.barrier_cost)
+                    self._barriers[op[1]] = barrier
+                cpu.time = time
+                released = barrier.arrive(cpu.cpu_id, time)
+                if released is not None:
+                    for rcid, rtime in released:
+                        self._wake(rcid, rtime)
+                return "blocked"
+            elif kind == OP_LOCK:
+                granted = self.locks.acquire(op[1], cpu.cpu_id, time)
+                if granted is None:
+                    cpu.time = time
+                    return "blocked"
+                stats.lock_acquires += 1
+                time = granted
+            elif kind == OP_UNLOCK:
+                woken = self.locks.release(op[1], cpu.cpu_id, time)
+                time += 1
+                if woken is not None:
+                    wcid, wtime = woken
+                    self.cpus[wcid].stats.lock_acquires += 1
+                    self._wake(wcid, wtime)
+            else:
+                raise ValueError("unknown op %r from workload" % (op,))
+        cpu.time = time
+        return "ready"
+
+    # ------------------------------------------------------------------
+    # The memory reference path.
+    # ------------------------------------------------------------------
+
+    def _access(self, cpu: Cpu, vaddr: int, is_write: bool, now: int) -> int:
+        node = cpu.node
+        vpage = vaddr >> self._page_shift
+        frame = cpu.tlb.lookup(vpage)
+        if frame is None:
+            kernel = node.kernel
+            frame = kernel.page_table.get(vpage)
+            if frame is None:
+                frame, now = kernel.fault(vpage, now)
+            else:
+                now += self.config.latency.tlb_miss
+                cpu.stats.tlb_misses += 1
+            cpu.tlb.insert(vpage, frame)
+        lip = (vaddr >> self._line_shift) & self._lip_mask
+        line = frame * self._lpp + lip
+
+        level, state = cpu.hierarchy.probe(line)
+        if level == "l1":
+            cpu.stats.l1_hits += 1
+            if is_write and state != LineState.MODIFIED:
+                if state == LineState.EXCLUSIVE:
+                    cpu.hierarchy.write_hit(line)
+                else:
+                    return self._upgrade(cpu, frame, lip, line, now)
+            return now + self.config.latency.l1_hit
+        if level == "l2":
+            cpu.stats.l2_hits += 1
+            if is_write and state != LineState.MODIFIED:
+                if state == LineState.EXCLUSIVE:
+                    cpu.hierarchy.write_hit(line)
+                else:
+                    return self._upgrade(cpu, frame, lip, line, now)
+            return now + self.config.latency.l2_hit
+        return self._miss(cpu, frame, lip, line, is_write, now)
+
+    def _upgrade(self, cpu: Cpu, frame: int, lip: int, line: int,
+                 now: int) -> int:
+        """Write to a SHARED copy in this CPU's cache."""
+        node = cpu.node
+        entry = node.pit.entry_or_none(frame)
+        mode = entry.mode
+        t = node.bus.request(now)
+        remote = False
+        if mode == PageMode.SCOMA:
+            if entry.tags.get(lip) != 2:  # Tag.EXCLUSIVE
+                t = node.controller.fetch(entry, lip, True, True, t)
+                remote = True
+            node.kernel.touch_lru(frame)
+        elif mode.is_remote_backed:
+            # No tags behind imaginary/CC-NUMA frames: any upgrade must
+            # ask the home (even if the node happens to own the line).
+            t = node.controller.fetch(entry, lip, True, True, t)
+            remote = True
+        # Local mode (and post-grant cleanup): invalidate sibling copies.
+        self._invalidate_siblings(node, cpu, line)
+        cpu.hierarchy.write_hit(line)
+        if remote:
+            t = node.kernel.drain_promotions(t)
+            if self.migration.enabled:
+                self.migration.drain()
+        return t
+
+    def _miss(self, cpu: Cpu, frame: int, lip: int, line: int,
+              is_write: bool, now: int) -> int:
+        node = cpu.node
+        entry = node.pit.entry_or_none(frame)
+        if entry is None:
+            raise RuntimeError("miss on unmapped frame %d at node %d"
+                               % (frame, node.node_id))
+        entry.touch(lip)
+        mode = entry.mode
+        lat = self.config.latency
+        fill_state = LineState.MODIFIED if is_write else LineState.SHARED
+        remote = False
+
+        if mode == PageMode.SCOMA:
+            tag = entry.tags.tags[lip]
+            if tag == 2:  # EXCLUSIVE: page cache services the miss
+                t = self._serve_local(cpu, line, is_write, now, entry)
+                node.stats.local_misses += 1
+                if not is_write and not node.presence.any_holder(line):
+                    fill_state = LineState.EXCLUSIVE
+            elif tag == 1:  # SHARED
+                if is_write:
+                    t = node.bus.request(now)
+                    t = node.controller.fetch(entry, lip, True, True, t)
+                    self._invalidate_siblings(node, cpu, line)
+                    remote = True
+                else:
+                    t = self._serve_local(cpu, line, is_write, now, entry)
+                    node.stats.local_misses += 1
+            else:  # INVALID
+                t = node.bus.request(now)
+                t = node.controller.fetch(entry, lip, is_write, False, t)
+                node.memory.write(t)  # line lands in the page cache too
+                remote = True
+            node.kernel.touch_lru(frame)
+        elif mode == PageMode.LANUMA or mode == PageMode.CCNUMA:
+            if node.presence.any_holder(line):
+                sib_state = self._max_sibling_state(node, line)
+                if is_write:
+                    if sib_state >= LineState.EXCLUSIVE:
+                        # Node-exclusive: sibling cache supplies locally.
+                        t = self._serve_local(cpu, line, True, now, entry)
+                        node.stats.local_misses += 1
+                    else:
+                        t = node.bus.request(now)
+                        t = node.controller.fetch(entry, lip, True, True, t)
+                        self._invalidate_siblings(node, cpu, line)
+                        remote = True
+                else:
+                    t = self._serve_local(cpu, line, False, now, entry)
+                    node.stats.local_misses += 1
+            else:
+                t = node.bus.request(now)
+                t = node.controller.fetch(entry, lip, is_write, False, t)
+                remote = True
+        elif mode == PageMode.LOCAL:
+            t = self._serve_local(cpu, line, is_write, now, entry)
+            node.stats.local_misses += 1
+            if not is_write and not node.presence.any_holder(line):
+                fill_state = LineState.EXCLUSIVE
+        else:
+            raise RuntimeError("access to frame in mode %s" % mode.name)
+
+        lost = cpu.hierarchy.fill(line, fill_state)
+        node.presence.add(line, cpu.local_id)
+        if lost:
+            self._handle_lost(node, cpu, lost, t)
+        if remote:
+            t = node.kernel.drain_promotions(t)
+            if self.migration.enabled:
+                self.migration.drain()
+        return t
+
+    def _serve_local(self, cpu: Cpu, line: int, is_write: bool, now: int,
+                     entry) -> int:
+        """Service a miss from local memory or a sibling CPU's cache.
+
+        Uncontended cost: 36 cycles clean (Table 1 "line in local
+        memory"), 61 when a dirty sibling copy must be pulled out by a
+        bus intervention.
+        """
+        node = cpu.node
+        lat = self.config.latency
+        t = node.bus.request(now)
+        dirty_sibling = None
+        for cid in node.presence.holders(line):
+            if node.cpus[cid].hierarchy.state(line) == LineState.MODIFIED:
+                dirty_sibling = cid
+                break
+        if dirty_sibling is not None:
+            t += lat.intervention
+            if entry.mode.is_remote_backed and not is_write:
+                # No local memory behind the frame: the dirty data is
+                # written back to the home as part of the share.
+                node.controller.share_dirty_lanuma(entry, line % self._lpp, t)
+            else:
+                node.memory.write(t)
+        else:
+            t = node.memory.port.acquire(t, lat.local_memory - lat.bus_request
+                                         - lat.bus_data)
+            node.memory.reads += 1
+        t = node.bus.transfer(t)
+        if is_write:
+            self._invalidate_siblings(node, cpu, line)
+        elif dirty_sibling is not None:
+            node.cpus[dirty_sibling].hierarchy.downgrade(line)
+        return t
+
+    def _invalidate_siblings(self, node: Node, cpu: Cpu, line: int) -> None:
+        holders = node.presence.holders(line)
+        if not holders:
+            return
+        keep = cpu.local_id
+        for cid in list(holders):
+            if cid != keep:
+                node.cpus[cid].hierarchy.invalidate(line)
+                node.presence.remove(line, cid)
+
+    def _max_sibling_state(self, node: Node, line: int) -> LineState:
+        best = LineState.INVALID
+        for cid in node.presence.holders(line):
+            state = node.cpus[cid].hierarchy.state(line)
+            if state > best:
+                best = state
+        return best
+
+    def _handle_lost(self, node: Node, cpu: Cpu, lost, now: int) -> None:
+        """Process lines evicted from a CPU hierarchy during a fill."""
+        for vline, vstate in lost:
+            node.presence.remove(vline, cpu.local_id)
+            ventry = node.pit.entry_or_none(vline // self._lpp)
+            if ventry is None:
+                continue
+            if vstate == LineState.MODIFIED:
+                if ventry.mode.is_remote_backed:
+                    node.controller.evict_writeback(
+                        ventry, vline & self._lip_mask, now)
+                else:
+                    node.memory.write(now)
+            elif (ventry.mode.is_remote_backed
+                  and vstate == LineState.EXCLUSIVE
+                  and not node.presence.any_holder(vline)):
+                node.controller.replacement_hint(
+                    ventry, vline & self._lip_mask, now)
+
+    # ------------------------------------------------------------------
+    # Finalization.
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail-stop a node (section 3.3's failure model).
+
+        The node's CPUs halt and its resources become unreachable.
+        Surviving nodes keep running: their translations are private and
+        their physical addresses never name the dead node's memory, so
+        only transactions that *need* the dead node (pages homed or
+        owned there) fail — with :class:`NodeFailedError`, the simulated
+        analogue of terminating the applications using that node.
+        """
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError("no node %d" % node_id)
+        self.failed_nodes.add(node_id)
+        for cpu in self.nodes[node_id].cpus:
+            cpu.done = True
+
+    def resource_report(self) -> "dict[str, float]":
+        """Busy fraction of every shared hardware resource over the run.
+
+        Useful for locating the bottleneck of a workload/policy pair
+        (home controller saturation, bus pressure, NI injection...).
+        """
+        total = self.stats.execution_cycles
+        report: "dict[str, float]" = {}
+        for node in self.nodes:
+            for resource in (node.bus.address_path, node.bus.data_path,
+                             node.memory.port, node.controller.resource,
+                             node.kernel_resource):
+                report[resource.name] = resource.utilization(total)
+        for ni in self.network.interfaces:
+            report[ni.name] = ni.utilization(total)
+        return report
+
+    def hottest_resources(self, top: int = 5) -> "list[tuple[str, float]]":
+        """The ``top`` busiest resources, descending."""
+        report = self.resource_report()
+        ranked = sorted(report.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:top]
+
+    def retire_frame_utilization(self, entry) -> None:
+        """Account a retired frame's utilization (Table 3)."""
+        if not entry.mode.is_real:
+            return
+        self.stats.frames_allocated_total += 1
+        self.stats.touched_line_fraction_sum += (
+            entry.touched_lines() / self._lpp)
+
+    def _finalize(self) -> None:
+        self.stats.execution_cycles = max(
+            (c.stats.finish_time for c in self.cpus), default=0)
+        for node in self.nodes:
+            for entry in node.pit.frames():
+                self.retire_frame_utilization(entry)
+            self.stats.directory_cache_hits += node.directory.cache.hits
+            self.stats.directory_cache_misses += node.directory.cache.misses

@@ -1,0 +1,171 @@
+"""Event tracing for the simulated machine.
+
+A :class:`TraceRecorder` hooks a machine and records structured events:
+memory references (with their resolved level and latency), page faults,
+page-outs, mode demotions/promotions and home migrations.  Tracing is
+opt-in — the hooks wrap the hot path, so expect a run to slow down
+while recording.
+
+Typical use::
+
+    machine = Machine(config, policy="dyn-lru")
+    with TraceRecorder(machine, kinds={"fault", "pageout"}) as trace:
+        machine.run(workload)
+    for event in trace.events[:10]:
+        print(event)
+
+Events are plain namedtuples; ``summary()`` aggregates them and
+``to_csv()`` renders them for offline analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, namedtuple
+
+AccessEvent = namedtuple(
+    "AccessEvent", "time cpu vaddr write latency")
+FaultEvent = namedtuple(
+    "FaultEvent", "time node vpage gpage mode remote_home")
+PageOutEvent = namedtuple(
+    "PageOutEvent", "time node frame demoted")
+PromoteEvent = namedtuple(
+    "PromoteEvent", "time node gpage")
+MigrateEvent = namedtuple(
+    "MigrateEvent", "gpage old_home new_home")
+
+KINDS = ("access", "fault", "pageout", "promote", "migrate")
+
+
+class TraceRecorder:
+    """Records machine events while active (use as a context manager)."""
+
+    def __init__(self, machine, kinds: "set[str] | None" = None,
+                 max_events: int = 1_000_000) -> None:
+        unknown = (set(kinds) - set(KINDS)) if kinds else set()
+        if unknown:
+            raise ValueError("unknown trace kinds: %s" % sorted(unknown))
+        self.machine = machine
+        self.kinds = set(kinds) if kinds is not None else set(KINDS)
+        self.max_events = max_events
+        self.events: "list[tuple]" = []
+        self.dropped = 0
+        self._saved: "list[tuple]" = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "TraceRecorder":
+        self.attach()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def attach(self) -> None:
+        """Install the recording hooks on the machine."""
+        machine = self.machine
+        if "access" in self.kinds:
+            self._wrap(machine, "_access", self._on_access)
+        if self.kinds & {"fault", "pageout", "promote"}:
+            for node in machine.nodes:
+                kernel = node.kernel
+                if "fault" in self.kinds:
+                    self._wrap(kernel, "fault", self._on_fault)
+                if "pageout" in self.kinds:
+                    self._wrap(kernel, "page_out_client", self._on_pageout)
+        if "migrate" in self.kinds:
+            self._wrap(machine.migration, "migrate", self._on_migrate)
+
+    def detach(self) -> None:
+        # _wrap installed instance attributes shadowing the (class)
+        # methods; deleting them restores the original hot path.
+        for owner, name, _original in self._saved:
+            try:
+                delattr(owner, name)
+            except AttributeError:  # pragma: no cover - already clean
+                pass
+        self._saved = []
+
+    def _wrap(self, owner, name: str, hook) -> None:
+        original = getattr(owner, name)
+        self._saved.append((owner, name, original))
+
+        def wrapper(*args, **kwargs):
+            result = original(*args, **kwargs)
+            hook(owner, original, args, kwargs, result)
+            return result
+
+        setattr(owner, name, wrapper)
+
+    def _record(self, event) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _on_access(self, _machine, _orig, args, _kwargs, result) -> None:
+        cpu, vaddr, is_write, now = args
+        self._record(AccessEvent(now, cpu.cpu_id, vaddr, is_write,
+                                 result - now))
+
+    def _on_fault(self, kernel, _orig, args, _kwargs, result) -> None:
+        vpage, now = args
+        frame, done = result
+        entry = kernel.node.pit.entry_or_none(frame)
+        gpage = entry.gpage if entry is not None else -1
+        mode = entry.mode.name if entry is not None else "?"
+        remote = (gpage >= 0 and
+                  kernel.machine.dynamic_home_of(gpage) != kernel.node.node_id)
+        self._record(FaultEvent(now, kernel.node.node_id, vpage, gpage,
+                                mode, remote))
+
+    def _on_pageout(self, kernel, _orig, args, kwargs, _result) -> None:
+        frame = args[0]
+        now = args[1]
+        demote = kwargs.get("demote", args[2] if len(args) > 2 else False)
+        self._record(PageOutEvent(now, kernel.node.node_id, frame, demote))
+
+    def _on_migrate(self, migration, _orig, args, _kwargs, _result) -> None:
+        gpage, new_home = args
+        self._record(MigrateEvent(gpage, -1, new_home))
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> "dict[str, int]":
+        """Event counts by type (plus the dropped count)."""
+        counts = Counter(type(event).__name__ for event in self.events)
+        counts["dropped"] = self.dropped
+        return dict(counts)
+
+    def accesses(self) -> "list[AccessEvent]":
+        """Just the access events, in order."""
+        return [e for e in self.events if isinstance(e, AccessEvent)]
+
+    def latency_histogram(self, buckets=(2, 15, 100, 700, 2500)) -> "dict[str, int]":
+        """Bucket access latencies (cycles): hits, L2, local, remote,
+        fault-ish, contended."""
+        labels = ["<=%d" % b for b in buckets] + [">%d" % buckets[-1]]
+        hist = dict.fromkeys(labels, 0)
+        for event in self.accesses():
+            for bound, label in zip(buckets, labels):
+                if event.latency <= bound:
+                    hist[label] += 1
+                    break
+            else:
+                hist[labels[-1]] += 1
+        return hist
+
+    def to_csv(self) -> str:
+        """All events as CSV (one section per event type)."""
+        lines = []
+        by_type: "dict[str, list]" = {}
+        for event in self.events:
+            by_type.setdefault(type(event).__name__, []).append(event)
+        for name in sorted(by_type):
+            events = by_type[name]
+            lines.append("# %s" % name)
+            lines.append(",".join(events[0]._fields))
+            for event in events:
+                lines.append(",".join(str(v) for v in event))
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Application kernels driving the PRISM simulator.
+
+Eight SPLASH-I/II-style kernels (Table 2 of the paper) plus a synthetic
+pattern generator and the Table 1 latency microbenchmark.  Each kernel
+ships three presets:
+
+* ``paper``   — the paper's exact Table 2 problem sizes, intended for
+  the paper-scale machine geometry (``paper_scale_config``); hours of
+  simulation in pure Python — use deliberately;
+* ``default`` — the scaled problem sizes used to regenerate the paper's
+  tables and figures (see DESIGN.md section 2 for the scaling argument);
+* ``small``   — a few-seconds variant for quick experiments;
+* ``tiny``    — unit-test sized.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.barnes import BarnesWorkload
+from repro.workloads.base import PrivateArray, SharedArray, Workload
+from repro.workloads.fft import FftWorkload
+from repro.workloads.lu import LuWorkload
+from repro.workloads.mp3d import Mp3dWorkload
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.radix import RadixWorkload
+from repro.workloads.water import WaterNsqWorkload, WaterSpatialWorkload
+
+#: Paper order (Figure 7 / Tables 3-5).
+APPLICATIONS = ("barnes", "fft", "lu", "mp3d", "ocean", "radix",
+                "water-nsq", "water-spa")
+
+_PRESETS = {
+    "barnes": {
+        "paper": lambda: BarnesWorkload(bodies=8192, iterations=4),
+        "default": lambda: BarnesWorkload(bodies=2048, iterations=3),
+        "small": lambda: BarnesWorkload(bodies=768, iterations=2),
+        "tiny": lambda: BarnesWorkload(bodies=64, iterations=1,
+                                       cells_per_dim=4),
+    },
+    "fft": {
+        "paper": lambda: FftWorkload(points=65536),
+        "default": lambda: FftWorkload(points=16384),
+        "small": lambda: FftWorkload(points=4096),
+        "tiny": lambda: FftWorkload(points=256),
+    },
+    "lu": {
+        "paper": lambda: LuWorkload(n=512, block=16),
+        "default": lambda: LuWorkload(n=256, block=16),
+        "small": lambda: LuWorkload(n=128, block=16),
+        "tiny": lambda: LuWorkload(n=64, block=8),
+    },
+    "mp3d": {
+        "paper": lambda: Mp3dWorkload(particles=20000, iterations=5),
+        "default": lambda: Mp3dWorkload(particles=4096, iterations=5),
+        "small": lambda: Mp3dWorkload(particles=2048, iterations=3),
+        "tiny": lambda: Mp3dWorkload(particles=256, iterations=2,
+                                     cells=(8, 4, 4)),
+    },
+    "ocean": {
+        "paper": lambda: OceanWorkload(grid=258, iterations=10),
+        "default": lambda: OceanWorkload(grid=130, iterations=6),
+        "small": lambda: OceanWorkload(grid=82, iterations=4),
+        "tiny": lambda: OceanWorkload(grid=34, iterations=2),
+    },
+    "radix": {
+        "paper": lambda: RadixWorkload(keys=1 << 20, radix=1024,
+                                      key_bits=30),
+        "default": lambda: RadixWorkload(keys=65536, radix=256, key_bits=16),
+        "small": lambda: RadixWorkload(keys=16384, radix=256, key_bits=16),
+        "tiny": lambda: RadixWorkload(keys=2048, radix=64, key_bits=12),
+    },
+    "water-nsq": {
+        "paper": lambda: WaterNsqWorkload(molecules=512, iterations=3),
+        "default": lambda: WaterNsqWorkload(molecules=256, iterations=2),
+        "small": lambda: WaterNsqWorkload(molecules=128, iterations=2),
+        "tiny": lambda: WaterNsqWorkload(molecules=32, iterations=1),
+    },
+    "water-spa": {
+        "paper": lambda: WaterSpatialWorkload(molecules=512, iterations=3),
+        "default": lambda: WaterSpatialWorkload(molecules=512, iterations=2),
+        "small": lambda: WaterSpatialWorkload(molecules=256, iterations=2),
+        "tiny": lambda: WaterSpatialWorkload(molecules=64, iterations=1,
+                                             cells_per_dim=2),
+    },
+}
+
+PRESET_NAMES = ("paper", "default", "small", "tiny")
+
+
+def make_workload(name: str, preset: str = "default") -> Workload:
+    """Instantiate an application kernel by paper name."""
+    try:
+        presets = _PRESETS[name.strip().lower()]
+    except KeyError:
+        raise ValueError("unknown workload %r; choose from %s"
+                         % (name, ", ".join(APPLICATIONS))) from None
+    try:
+        factory = presets[preset]
+    except KeyError:
+        raise ValueError("unknown preset %r; choose from %s"
+                         % (preset, ", ".join(PRESET_NAMES))) from None
+    return factory()
+
+
+__all__ = [
+    "APPLICATIONS", "PRESET_NAMES", "make_workload",
+    "Workload", "SharedArray", "PrivateArray",
+    "BarnesWorkload", "FftWorkload", "LuWorkload", "Mp3dWorkload",
+    "OceanWorkload", "RadixWorkload", "WaterNsqWorkload",
+    "WaterSpatialWorkload",
+]

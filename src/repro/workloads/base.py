@@ -1,0 +1,145 @@
+"""Workload framework: SPLASH-style reference generators.
+
+The paper drives its simulator with SPLASH-I/II applications under
+Augmint (execution-driven simulation of compiled binaries).  This
+reproduction replaces that with *application kernels*: Python
+implementations of the same algorithms' traversals that emit, per
+simulated CPU, the stream of memory references (virtual address,
+read/write), compute gaps, barriers and locks the algorithm performs.
+Problem sizes are scaled together with the machine's caches (see
+DESIGN.md section 2) so the capacity regimes match the paper's.
+
+A workload:
+
+* builds its shared segments and private regions in :meth:`setup`
+  (globalized shmget/shmat through the machine's layout — this is the
+  "global binding" step, outside the measured parallel phase);
+* yields ops from :meth:`generator` for each CPU (the parallel phase).
+
+Addresses are plain integers in the (machine-wide) virtual address
+space; :class:`SharedArray` and :class:`PrivateArray` provide element
+-> address arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
+                           OP_UNLOCK, OP_WRITE)
+
+
+class SharedArray:
+    """A shared segment interpreted as an array of fixed-size elements."""
+
+    __slots__ = ("vbase", "elem_bytes", "num_elems")
+
+    def __init__(self, layout, key: int, num_elems: int, elem_bytes: int) -> None:
+        region = layout.attach_shared(key, num_elems * elem_bytes)
+        self.vbase = region.vbase
+        self.elem_bytes = elem_bytes
+        self.num_elems = num_elems
+
+    def addr(self, index: int) -> int:
+        """Virtual address of element ``index``."""
+        return self.vbase + index * self.elem_bytes
+
+    def read(self, index: int) -> "tuple[int, int]":
+        """A load op for element ``index``."""
+        return (OP_READ, self.vbase + index * self.elem_bytes)
+
+    def write(self, index: int) -> "tuple[int, int]":
+        """A store op for element ``index``."""
+        return (OP_WRITE, self.vbase + index * self.elem_bytes)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total segment size."""
+        return self.num_elems * self.elem_bytes
+
+
+class PrivateArray:
+    """A per-CPU private array (node-local memory, Local-mode frames)."""
+
+    __slots__ = ("vbase", "elem_bytes", "num_elems")
+
+    def __init__(self, layout, num_elems: int, elem_bytes: int) -> None:
+        region = layout.add_private(num_elems * elem_bytes)
+        self.vbase = region.vbase
+        self.elem_bytes = elem_bytes
+        self.num_elems = num_elems
+
+    def addr(self, index: int) -> int:
+        """Virtual address of element ``index``."""
+        return self.vbase + index * self.elem_bytes
+
+    def read(self, index: int) -> "tuple[int, int]":
+        """A load op for element ``index``."""
+        return (OP_READ, self.vbase + index * self.elem_bytes)
+
+    def write(self, index: int) -> "tuple[int, int]":
+        """A store op for element ``index``."""
+        return (OP_WRITE, self.vbase + index * self.elem_bytes)
+
+
+class Workload:
+    """Base class for all application kernels."""
+
+    #: Short name used by the harness and result tables.
+    name = "abstract"
+    #: Paper's description (Table 2), for reports.
+    description = ""
+    #: The paper's problem size (Table 2), for reports.
+    paper_problem = ""
+
+    def __init__(self) -> None:
+        self._barrier_seq = 0
+
+    # -- to implement ----------------------------------------------------
+
+    def setup(self, layout, num_cpus: int) -> None:
+        """Create segments and precompute access plans.  Called once by
+        the machine before the parallel phase."""
+        raise NotImplementedError
+
+    def generator(self, cpu_id: int, num_cpus: int):
+        """Yield ops for one CPU's parallel phase."""
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def block_range(total: int, cpu_id: int, num_cpus: int) -> range:
+        """Contiguous block partition of ``range(total)`` for one CPU."""
+        base = total // num_cpus
+        extra = total % num_cpus
+        start = cpu_id * base + min(cpu_id, extra)
+        size = base + (1 if cpu_id < extra else 0)
+        return range(start, start + size)
+
+    def describe(self) -> "dict[str, str]":
+        """Name/description/problem-size record (Table 2 rows)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "paper_problem": self.paper_problem,
+            "problem": getattr(self, "problem", ""),
+        }
+
+
+def barrier(bid: int) -> "tuple[int, int]":
+    """A global-barrier op for barrier ``bid``."""
+    return (OP_BARRIER, bid)
+
+
+def compute(cycles: int) -> "tuple[int, int]":
+    """A local-computation op of ``cycles`` cycles."""
+    return (OP_COMPUTE, cycles)
+
+
+def lock(lid: int) -> "tuple[int, int]":
+    """An acquire op for lock ``lid``."""
+    return (OP_LOCK, lid)
+
+
+def unlock(lid: int) -> "tuple[int, int]":
+    """A release op for lock ``lid``."""
+    return (OP_UNLOCK, lid)

@@ -1,0 +1,115 @@
+"""FFT kernel (SPLASH-2 FFT: six-step, transpose-based 1D FFT).
+
+The data set is an ``m x m`` matrix of complex doubles (``n = m*m``
+points) plus an equally sized transpose target and a root-of-unity
+table.  Rows are block-partitioned across CPUs.  The six steps:
+
+1. transpose (all-to-all communication: each CPU reads columns of the
+   source, i.e. rows owned by every other CPU, and writes its rows of
+   the target),
+2. 1D FFTs over local rows,
+3. twiddle multiplication,
+4. transpose,
+5. 1D FFTs over local rows,
+6. transpose back.
+
+The transposes generate the remote traffic; the row FFTs generate the
+cache-capacity reuse that separates S-COMA from LA-NUMA behaviour.
+
+Paper data set: 64K complex doubles.  Default here: 16K points
+(m = 128), scaled with the smaller caches.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (PrivateArray, SharedArray, Workload,
+                                  barrier, compute)
+
+COMPLEX_BYTES = 16
+
+
+class FftWorkload(Workload):
+    """Six-step transpose-based FFT (see module docstring)."""
+
+    name = "fft"
+    description = "FFT computation"
+    paper_problem = "64K complex doubles"
+
+    def __init__(self, points: int = 16384) -> None:
+        super().__init__()
+        m = int(round(points ** 0.5))
+        if m * m != points:
+            raise ValueError("points must be a perfect square (m*m)")
+        self.m = m
+        self.points = points
+        self.problem = "%d complex doubles" % points
+
+    def setup(self, layout, num_cpus: int) -> None:
+        m = self.m
+        self.src = SharedArray(layout, key=101, num_elems=self.points,
+                               elem_bytes=COMPLEX_BYTES)
+        self.dst = SharedArray(layout, key=102, num_elems=self.points,
+                               elem_bytes=COMPLEX_BYTES)
+        self.twiddle = SharedArray(layout, key=103, num_elems=m,
+                                   elem_bytes=COMPLEX_BYTES)
+        # Per-CPU scratch for the row FFT working vector.
+        self.scratch = [PrivateArray(layout, m, COMPLEX_BYTES)
+                        for _ in range(num_cpus)]
+
+    def generator(self, cpu_id: int, num_cpus: int):
+        m = self.m
+        src, dst = self.src, self.dst
+        scratch = self.scratch[cpu_id]
+        rows = self.block_range(m, cpu_id, num_cpus)
+        log_m = max(1, m.bit_length() - 1)
+        bid = 0
+
+        epl = max(1, 32 // COMPLEX_BYTES)  # complexes per 32-byte line
+
+        def transpose(a, b):
+            # Patch transpose (as in SPLASH-2 FFT): move epl x epl
+            # patches so both the source reads and the destination
+            # writes get full cache-line reuse.  The source patches
+            # stride across every other CPU's partition of a.
+            for r0 in range(rows.start, rows.stop, epl):
+                for c0 in range(0, m, epl):
+                    for c in range(c0, c0 + epl):
+                        yield a.read(c * m + r0)
+                    for r in range(r0, r0 + epl):
+                        for c in range(c0, c0 + epl):
+                            yield b.write(r * m + c)
+                    yield compute(2 * epl * epl)
+
+        def row_ffts(a):
+            # For each owned row: load into scratch, butterfly passes,
+            # store back.  Butterfly arithmetic is charged as compute.
+            for r in rows:
+                base = r * m
+                for c in range(m):
+                    yield a.read(base + c)
+                    yield scratch.write(c)
+                for stage in range(log_m):
+                    yield compute(4 * m)
+                    for c in range(0, m, 4):
+                        yield scratch.read(c)
+                        yield scratch.write(c)
+                for c in range(m):
+                    yield scratch.read(c)
+                    yield a.write(base + c)
+
+        def twiddle_mult(a):
+            for r in rows:
+                base = r * m
+                yield self.twiddle.read(r % m)
+                for c in range(m):
+                    yield a.read(base + c)
+                    yield a.write(base + c)
+                yield compute(2 * m)
+
+        # The six steps, a barrier after each.
+        steps = (transpose(src, dst), row_ffts(dst), twiddle_mult(dst),
+                 transpose(dst, src), row_ffts(src), transpose(src, dst))
+        for step in steps:
+            yield from step
+            yield barrier(bid)
+            bid += 1

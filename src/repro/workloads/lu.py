@@ -1,0 +1,107 @@
+"""LU kernel (SPLASH-2 LU: blocked dense LU decomposition).
+
+An ``N x N`` matrix of doubles is split into ``B x B`` blocks; blocks
+are owner-computed with a 2D round-robin assignment.  Iteration ``k``:
+
+1. the owner factors the diagonal block (k,k); barrier;
+2. owners update the perimeter blocks (k,j) and (i,k); barrier;
+3. owners update the interior blocks (i,j) -= (i,k) * (k,j); barrier.
+
+References are emitted at cache-line granularity (one read/write per
+line of the blocks touched) with the block arithmetic charged as
+compute cycles — the access *pattern* (which lines, which sharing) is
+what drives the memory system, and this keeps reference counts
+tractable in pure Python.
+
+Paper data set: 512x512 matrix, 16x16 blocks.  Default here: 256x256.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SharedArray, Workload, barrier, compute
+
+DOUBLE_BYTES = 8
+LINE_DOUBLES = 4  # 32-byte lines
+
+
+class LuWorkload(Workload):
+    """Blocked dense LU with 2D owner-computes (see module docstring)."""
+
+    name = "lu"
+    description = "Blocked LU decomposition"
+    paper_problem = "512x512 matrix, 16x16 blocks"
+
+    def __init__(self, n: int = 256, block: int = 16) -> None:
+        super().__init__()
+        if n % block:
+            raise ValueError("matrix size must be a multiple of the block")
+        self.n = n
+        self.block = block
+        self.nb = n // block
+        self.problem = "%dx%d matrix, %dx%d blocks" % (n, n, block, block)
+
+    def setup(self, layout, num_cpus: int) -> None:
+        self.a = SharedArray(layout, key=201, num_elems=self.n * self.n,
+                             elem_bytes=DOUBLE_BYTES)
+
+    def _owner(self, bi: int, bj: int, num_cpus: int) -> int:
+        return (bi * self.nb + bj) % num_cpus
+
+    def _block_lines(self, bi: int, bj: int):
+        """Element indices, one per cache line, of block (bi, bj)."""
+        n, b = self.n, self.block
+        row0 = bi * b
+        col0 = bj * b
+        for r in range(b):
+            base = (row0 + r) * n + col0
+            for c in range(0, b, LINE_DOUBLES):
+                yield base + c
+
+    def generator(self, cpu_id: int, num_cpus: int):
+        a = self.a
+        nb = self.nb
+        b = self.block
+        flops_per_line = 2 * b * LINE_DOUBLES
+        bid = 0
+        for k in range(nb):
+            # 1. Factor the diagonal block.
+            if self._owner(k, k, num_cpus) == cpu_id:
+                for idx in self._block_lines(k, k):
+                    yield a.read(idx)
+                    yield a.write(idx)
+                yield compute(flops_per_line * b)
+            yield barrier(bid)
+            bid += 1
+            # 2. Perimeter blocks.
+            for j in range(k + 1, nb):
+                if self._owner(k, j, num_cpus) == cpu_id:
+                    for idx in self._block_lines(k, k):
+                        yield a.read(idx)
+                    for idx in self._block_lines(k, j):
+                        yield a.read(idx)
+                        yield a.write(idx)
+                    yield compute(flops_per_line * b)
+                if self._owner(j, k, num_cpus) == cpu_id:
+                    for idx in self._block_lines(k, k):
+                        yield a.read(idx)
+                    for idx in self._block_lines(j, k):
+                        yield a.read(idx)
+                        yield a.write(idx)
+                    yield compute(flops_per_line * b)
+            yield barrier(bid)
+            bid += 1
+            # 3. Interior updates.
+            for i in range(k + 1, nb):
+                for j in range(k + 1, nb):
+                    if self._owner(i, j, num_cpus) != cpu_id:
+                        continue
+                    for idx in self._block_lines(i, k):
+                        yield a.read(idx)
+                    for idx in self._block_lines(k, j):
+                        yield a.read(idx)
+                    for idx in self._block_lines(i, j):
+                        yield a.read(idx)
+                        yield a.write(idx)
+                    yield compute(flops_per_line * b)
+            yield barrier(bid)
+            bid += 1

@@ -1,0 +1,198 @@
+"""Synthetic workload generator.
+
+Parameterized access-pattern kernels for controlled experiments — in
+particular the working-set regime study behind the paper's section 6
+summary:
+
+    "There is no significant performance difference for working sets
+    that fit within the L1/L2 caches.  For working sets larger than the
+    L1/L2 caches, S-COMA's page cache acts as a third level cache and
+    outperforms LA-NUMA.  For working sets larger than the page cache,
+    more paging occurs in S-COMA, and LA-NUMA performs better."
+
+Patterns:
+
+* ``block``    — every CPU repeatedly sweeps its own block of the
+  shared array: pure capacity reuse, the S-COMA sweet spot.
+* ``random``   — uniform random references over the whole array: sparse
+  page touches, the S-COMA memory-consumption worst case.
+* ``migratory``— objects are read-modify-written by each CPU in turn:
+  ownership migrates, 3-party transfers dominate (and the lazy
+  home-migration policy has something to chase).
+* ``producer_consumer`` — phase-alternating neighbour pipelines: CPU i
+  writes a block that CPU i+1 reads next phase: invalidation traffic.
+* ``reuse_vs_stream`` — each iteration alternates a hot reused block
+  with a once-through cold stream.  With a constrained page cache the
+  stream demotes the hot pages under dyn-lru; the bidirectional policy
+  (dyn-bidir) promotes them back — the scenario behind the paper's
+  "convert such reuse pages back to S-COMA mode" remark (section 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.ops import OP_READ, OP_WRITE
+from repro.workloads.base import SharedArray, Workload, barrier, compute
+
+LINE_BYTES = 32
+
+PATTERNS = ("block", "random", "migratory", "producer_consumer",
+            "reuse_vs_stream")
+
+
+class SyntheticWorkload(Workload):
+    """A configurable synthetic access pattern over one shared array."""
+
+    name = "synthetic"
+    description = "Parameterized synthetic access pattern"
+    paper_problem = "n/a (controlled experiment)"
+
+    def __init__(self, pattern: str = "block",
+                 shared_kb: int = 256,
+                 sweep_fraction: float = 1.0,
+                 iterations: int = 4,
+                 write_fraction: float = 0.25,
+                 refs_per_cpu_per_iter: int = 2000,
+                 cycles_per_ref: int = 10,
+                 random_order: bool = False,
+                 seed: int = 20260704) -> None:
+        """``shared_kb`` sizes the shared array; ``sweep_fraction``
+        restricts each CPU's working set to a fraction of its share;
+        ``write_fraction`` is the store ratio for the block/random
+        patterns."""
+        super().__init__()
+        if pattern not in PATTERNS:
+            raise ValueError("unknown pattern %r; choose from %s"
+                             % (pattern, ", ".join(PATTERNS)))
+        if not 0.0 < sweep_fraction <= 1.0:
+            raise ValueError("sweep_fraction must be in (0, 1]")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.pattern = pattern
+        self.shared_kb = shared_kb
+        self.sweep_fraction = sweep_fraction
+        self.iterations = iterations
+        self.write_fraction = write_fraction
+        self.refs_per_cpu_per_iter = refs_per_cpu_per_iter
+        #: Per-reference compute gap (honoured by the machine); higher
+        #: values model compute-bound codes, lower values memory-bound.
+        self.cycles_per_ref = cycles_per_ref
+        #: Block pattern: visit the working set in random order instead
+        #: of sequentially (defeats the cyclic-sweep LRU worst case).
+        self.random_order = random_order
+        self.seed = seed
+        self.problem = "%s, %d KB shared, %d iterations" % (
+            pattern, shared_kb, iterations)
+
+    def setup(self, layout, num_cpus: int) -> None:
+        self.num_lines = self.shared_kb * 1024 // LINE_BYTES
+        self.array = SharedArray(layout, key=9100, num_elems=self.num_lines,
+                                 elem_bytes=LINE_BYTES)
+        rng = np.random.RandomState(self.seed)
+        builder = getattr(self, "_plan_" + self.pattern)
+        #: per-cpu, per-iteration list of (line_index, is_write) arrays.
+        self._plans = builder(num_cpus, rng)
+
+    # -- pattern planners -------------------------------------------------
+
+    def _writes(self, rng, count: int) -> np.ndarray:
+        return rng.rand(count) < self.write_fraction
+
+    def _plan_block(self, num_cpus, rng):
+        per_cpu = self.num_lines // num_cpus
+        span = max(1, int(per_cpu * self.sweep_fraction))
+        refs = self.refs_per_cpu_per_iter
+        plans = []
+        for cpu in range(num_cpus):
+            base = cpu * per_cpu
+            iters = []
+            for _ in range(self.iterations):
+                if self.random_order:
+                    idx = base + rng.randint(0, span, refs)
+                else:
+                    idx = base + (np.arange(refs) % span)
+                iters.append((idx, self._writes(rng, refs)))
+            plans.append(iters)
+        return plans
+
+    def _plan_random(self, num_cpus, rng):
+        refs = self.refs_per_cpu_per_iter
+        plans = []
+        for cpu in range(num_cpus):
+            plans.append([(rng.randint(0, self.num_lines, refs),
+                           self._writes(rng, refs))
+                          for _ in range(self.iterations)])
+        return plans
+
+    def _plan_migratory(self, num_cpus, rng):
+        # A pool of "objects" (4 lines each); each iteration every CPU
+        # read-modify-writes the objects of a rotating slice, so every
+        # object is owned by each CPU in turn.
+        obj_lines = 4
+        num_objects = self.num_lines // obj_lines
+        per_cpu = max(1, num_objects // num_cpus)
+        refs = per_cpu * obj_lines
+        plans = []
+        for cpu in range(num_cpus):
+            iters = []
+            for it in range(self.iterations):
+                slice_id = (cpu + it) % num_cpus
+                objs = np.arange(per_cpu) + slice_id * per_cpu
+                lines = (objs[:, None] * obj_lines
+                         + np.arange(obj_lines)).ravel() % self.num_lines
+                # RMW: every reference pair is a read then a write.
+                iters.append((np.repeat(lines, 2),
+                              np.tile([False, True], refs)))
+            plans.append(iters)
+        return plans
+
+    def _plan_producer_consumer(self, num_cpus, rng):
+        per_cpu = self.num_lines // num_cpus
+        span = max(1, int(per_cpu * self.sweep_fraction))
+        plans = []
+        for cpu in range(num_cpus):
+            own = cpu * per_cpu + (np.arange(span))
+            upstream = ((cpu - 1) % num_cpus) * per_cpu + np.arange(span)
+            iters = []
+            for it in range(self.iterations):
+                if it % 2 == 0:
+                    iters.append((own, np.ones(span, dtype=bool)))   # produce
+                else:
+                    iters.append((upstream, np.zeros(span, dtype=bool)))
+            plans.append(iters)
+        return plans
+
+    def _plan_reuse_vs_stream(self, num_cpus, rng):
+        per_cpu = self.num_lines // num_cpus
+        hot_span = max(1, per_cpu // 4)
+        refs = self.refs_per_cpu_per_iter
+        plans = []
+        for cpu in range(num_cpus):
+            base = cpu * per_cpu
+            hot = base + (np.arange(refs) % hot_span)
+            stream = base + hot_span + (np.arange(per_cpu - hot_span))
+            iters = []
+            for it in range(self.iterations):
+                if it % 2 == 0:
+                    iters.append((hot, self._writes(rng, refs)))
+                else:
+                    iters.append((stream,
+                                  np.zeros(len(stream), dtype=bool)))
+            plans.append(iters)
+        return plans
+
+    # -- generator ---------------------------------------------------------
+
+    def generator(self, cpu_id: int, num_cpus: int):
+        array = self.array
+        vbase = array.vbase
+        elem = array.elem_bytes
+        bid = 0
+        for lines, writes in self._plans[cpu_id]:
+            for line, write in zip(lines.tolist(), writes.tolist()):
+                addr = vbase + line * elem
+                yield (OP_WRITE if write else OP_READ, addr)
+            yield compute(50)
+            yield barrier(bid)
+            bid += 1

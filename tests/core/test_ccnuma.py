@@ -1,0 +1,100 @@
+"""Tests for the CC-NUMA extension mode (section 3.2)."""
+
+import pytest
+
+from repro.core.modes import PageMode
+from repro.kernel.frames import is_imaginary
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness, protocol_config
+
+
+@pytest.fixture
+def ccnuma_harness():
+    return Harness(policy="ccnuma")
+
+
+class TestCcnumaMode:
+    def test_client_frames_bypass_the_pit(self, ccnuma_harness):
+        h = ccnuma_harness
+        page = h.page_homed_at(1)
+        cpu = h.cpu_on_node(0)
+        h.read(cpu, h.vaddr(page, 0))
+        lookups_before = (h.node(0).pit.lookups, h.node(1).pit.lookups)
+        h.read(cpu, h.vaddr(page, 1))
+        # Remote miss serviced, but no PIT lookup was charged anywhere.
+        assert (h.node(0).pit.lookups,
+                h.node(1).pit.lookups) == lookups_before
+
+    def test_ccnuma_miss_is_faster_than_lanuma(self):
+        lat_diffs = []
+        for policy in ("ccnuma", "lanuma"):
+            h = Harness(policy=policy)
+            page = h.page_homed_at(1)
+            cpu = h.cpu_on_node(0)
+            h.read(cpu, h.vaddr(page, 0))
+            lat_diffs.append(h.read(cpu, h.vaddr(page, 1)))
+        ccnuma, lanuma = lat_diffs
+        lat = protocol_config().latency
+        assert lanuma - ccnuma == 2 * lat.pit_access
+
+    def test_frames_are_not_local_memory(self, ccnuma_harness):
+        h = ccnuma_harness
+        page = h.page_homed_at(1)
+        h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+        entry = h.entry_at(0, page)
+        assert entry.mode == PageMode.CCNUMA
+        assert is_imaginary(entry.frame)
+        assert not PageMode.CCNUMA.is_real
+        assert PageMode.CCNUMA.is_remote_backed
+
+    def test_coherence_holds_under_ccnuma(self, ccnuma_harness):
+        h = ccnuma_harness
+        page = h.page_homed_at(1)
+        for lip in range(4):
+            h.read(h.cpu_on_node(0), h.vaddr(page, lip))
+            h.write(h.cpu_on_node(2), h.vaddr(page, lip))
+            h.read(h.cpu_on_node(3), h.vaddr(page, lip))
+        assert check_machine(h.machine) == []
+
+    def test_ccnuma_rejects_migration(self):
+        cfg = protocol_config(enable_migration=True)
+        with pytest.raises(ValueError, match="migration is impossible"):
+            Harness(policy="ccnuma", config=cfg)
+
+    def test_ccnuma_not_allowed_at_home(self):
+        from repro.core.pit import PageInformationTable
+        pit = PageInformationTable(0, 8)
+        with pytest.raises(ValueError):
+            pit.install(1, gpage=5, static_home=0, dynamic_home=0,
+                        home_frame=1, mode=PageMode.CCNUMA)
+
+
+class TestDirectoryClientFrames:
+    """Section 4.3 mitigation: client frame numbers in the directory."""
+
+    def test_invalidation_uses_fast_path_when_enabled(self):
+        cfg = protocol_config(directory_caches_client_frames=True)
+        h = Harness(policy="scoma", config=cfg)
+        page = h.page_homed_at(1)
+        line = h.vaddr(page, 3)
+        h.read(h.cpu_on_node(2), line)
+        before = h.node(2).pit.hash_lookups
+        h.write(h.cpu_on_node(0), line)  # invalidates node 2
+        assert h.node(2).pit.hash_lookups == before  # fast path
+
+    def test_invalidation_latency_drops(self):
+        def inval_cost(flag):
+            cfg = protocol_config(directory_caches_client_frames=flag)
+            h = Harness(policy="scoma", config=cfg)
+            page = h.page_homed_at(1)
+            line = h.vaddr(page, 3)
+            h.read(h.cpu_on_node(0), line)
+            h.read(h.cpu_on_node(2), line)
+            h.read(h.cpu_on_node(3), line)
+            return h.write(h.cpu_on_node(0), line)
+
+        lat = protocol_config().latency
+        # The critical-path sharer's reverse translation is cheaper.
+        assert inval_cost(False) - inval_cost(True) == (lat.pit_hash
+                                                        - lat.pit_access)

@@ -1,0 +1,121 @@
+"""Tests for lazy page migration (section 3.5)."""
+
+import pytest
+
+from repro.core.directory import DirState
+from repro.core.finegrain import Tag
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness, protocol_config
+
+
+def migration_harness(threshold=8):
+    cfg = protocol_config(enable_migration=True,
+                          migration_threshold=threshold)
+    return Harness(policy="scoma", config=cfg)
+
+
+class TestMigrationMechanics:
+    def test_manual_migrate_moves_directory(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+        h.machine.migration.migrate(gpage, 2)
+        assert h.machine.dynamic_home_of(gpage) == 2
+        assert h.node(2).directory.page(gpage) is not None
+        assert h.node(1).directory.page(gpage) is None
+        # Static home is unchanged.
+        assert h.machine.static_home_of(gpage) == 1
+
+    def test_old_home_becomes_client(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        h.read(h.cpu_on_node(1), h.vaddr(page, 0))  # home CPU touches it
+        h.machine.migration.migrate(gpage, 2)
+        old_entry = h.entry_at(1, page)
+        assert old_entry.dynamic_home == 2
+        assert old_entry.tags.get(0) == Tag.SHARED
+        dl = h.dir_line(page, 0)
+        assert dl.state == DirState.SHARED
+        assert 1 in dl.sharers
+
+    def test_stale_client_request_is_forwarded_and_updated(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        client = h.cpu_on_node(0)
+        h.read(client, h.vaddr(page, 0))      # PIT caches home=1
+        h.machine.migration.migrate(gpage, 2)
+        before = h.node(0).stats.forwarded_requests
+        t_forwarded = h.read(client, h.vaddr(page, 1))
+        assert h.node(0).stats.forwarded_requests == before + 1
+        # The response taught the client the new home.
+        assert h.entry_at(0, page).dynamic_home == 2
+        t_direct = h.read(client, h.vaddr(page, 2))
+        assert t_direct < t_forwarded
+        assert check_machine(h.machine) == []
+
+    def test_no_tlb_invalidation_on_migration(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        vaddr = h.vaddr(page, 0)
+        vpage = vaddr // h.machine.config.page_bytes
+        h.read(h.cpu_on_node(0), vaddr)
+        h.machine.migration.migrate(gpage, 2)
+        # The client's translation survives: lazy migration never
+        # touches remote translations.
+        assert vpage in h.machine.cpus[h.cpu_on_node(0)].tlb
+
+    def test_client_exclusive_lines_survive_migration(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        h.write(h.cpu_on_node(3), h.vaddr(page, 5))
+        h.machine.migration.migrate(gpage, 2)
+        dl = h.dir_line(page, 5)
+        assert dl.state == DirState.CLIENT_EXCL
+        assert dl.owner == 3
+        # A read through the new home still finds the owner (3-party).
+        h.read(h.cpu_on_node(0), h.vaddr(page, 5))
+        assert h.dir_line(page, 5).state == DirState.SHARED
+        assert check_machine(h.machine) == []
+
+    def test_migrate_to_same_home_is_noop(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+        h.machine.migration.migrate(gpage, 1)
+        assert h.machine.migration.migrations == 0
+
+
+class TestMigrationPolicy:
+    def test_hot_requester_attracts_the_home(self):
+        h = migration_harness(threshold=8)
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        cpu = h.cpu_on_node(3)
+        for lip in range(8):
+            h.read(cpu, h.vaddr(page, lip))
+        assert h.machine.dynamic_home_of(gpage) == 3
+        assert h.node(3).stats.homes_migrated_in == 1
+        assert check_machine(h.machine) == []
+
+    def test_balanced_requesters_do_not_migrate(self):
+        h = migration_harness(threshold=8)
+        page = h.page_homed_at(1)
+        gpage = h.gpage(page)
+        for lip in range(4):
+            h.read(h.cpu_on_node(0), h.vaddr(page, lip))
+            h.read(h.cpu_on_node(2), h.vaddr(page, lip + 4))
+        assert h.machine.dynamic_home_of(gpage) == 1
+
+    def test_migration_disabled_by_default(self):
+        h = Harness()
+        page = h.page_homed_at(1)
+        for lip in range(8):
+            h.read(h.cpu_on_node(3), h.vaddr(page, lip))
+        assert h.machine.dynamic_home_of(h.gpage(page)) == 1

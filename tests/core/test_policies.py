@@ -1,0 +1,133 @@
+"""Tests for the page-mode policies, both in isolation and end to end."""
+
+import pytest
+
+from repro.core.modes import PageMode
+from repro.core.policies import (POLICY_NAMES, DynBidirPolicy, DynFcfsPolicy,
+                                 DynLruPolicy, DynUtilPolicy, LanumaPolicy,
+                                 ScomaPolicy, make_policy)
+from repro.kernel.frames import is_imaginary
+
+from tests.conftest import Harness
+
+
+def test_make_policy_names():
+    for name in POLICY_NAMES:
+        assert make_policy(name).name == name
+
+
+def test_make_policy_unknown():
+    with pytest.raises(ValueError):
+        make_policy("nope")
+
+
+def test_policy_classes():
+    assert isinstance(make_policy("scoma"), ScomaPolicy)
+    assert isinstance(make_policy("scoma-70"), ScomaPolicy)
+    assert isinstance(make_policy("lanuma"), LanumaPolicy)
+    assert isinstance(make_policy("dyn-fcfs"), DynFcfsPolicy)
+    assert isinstance(make_policy("dyn-util"), DynUtilPolicy)
+    assert isinstance(make_policy("dyn-lru"), DynLruPolicy)
+    assert isinstance(make_policy("dyn-bidir"), DynBidirPolicy)
+    assert make_policy("dyn-bidir").promotes
+
+
+def _capped_harness(policy, cap=2):
+    return Harness(policy=policy, page_cache_override=[cap] * 4)
+
+
+def _fill_page_cache(h, cpu, count, home=1):
+    pages = [h.page_homed_at(home, skip=s) for s in range(count)]
+    for p in pages:
+        h.read(cpu, h.vaddr(p, 0))
+    return pages
+
+
+class TestDynFcfs:
+    def test_overflow_allocates_lanuma_without_pageout(self):
+        h = _capped_harness("dyn-fcfs")
+        cpu = h.cpu_on_node(0)
+        pages = _fill_page_cache(h, cpu, 3)
+        assert not is_imaginary(h.entry_at(0, pages[0]).frame)
+        assert not is_imaginary(h.entry_at(0, pages[1]).frame)
+        assert is_imaginary(h.entry_at(0, pages[2]).frame)
+        assert h.node(0).stats.client_page_outs == 0
+
+    def test_earlier_pages_keep_scoma_frames(self):
+        h = _capped_harness("dyn-fcfs")
+        cpu = h.cpu_on_node(0)
+        pages = _fill_page_cache(h, cpu, 4)
+        h.read(cpu, h.vaddr(pages[0], 1))
+        assert not is_imaginary(h.entry_at(0, pages[0]).frame)
+
+
+class TestDynLru:
+    def test_overflow_demotes_lru_page(self):
+        h = _capped_harness("dyn-lru")
+        cpu = h.cpu_on_node(0)
+        pages = _fill_page_cache(h, cpu, 2)
+        h.read(cpu, h.vaddr(pages[0], 1))  # refresh page 0; page 1 is LRU
+        third = h.page_homed_at(1, skip=2)
+        h.read(cpu, h.vaddr(third, 0))
+        # Page 1 was demoted; the new page got its S-COMA frame.
+        assert h.entry_at(0, pages[1]) is None or \
+            is_imaginary(h.entry_at(0, pages[1]).frame)
+        assert not is_imaginary(h.entry_at(0, third).frame)
+        assert h.node(0).stats.mode_demotions == 1
+        assert h.node(0).stats.client_page_outs == 1
+        # Re-fault of the demoted page uses a LA-NUMA frame.
+        h.read(cpu, h.vaddr(pages[1], 0))
+        assert is_imaginary(h.entry_at(0, pages[1]).frame)
+
+
+class TestDynUtil:
+    def test_overflow_demotes_most_invalid_frame(self):
+        h = _capped_harness("dyn-util")
+        cpu = h.cpu_on_node(0)
+        page_a = h.page_homed_at(1, skip=0)
+        page_b = h.page_homed_at(1, skip=1)
+        # page_a: many lines valid; page_b: single line valid.
+        for lip in range(6):
+            h.read(cpu, h.vaddr(page_a, lip))
+        h.read(cpu, h.vaddr(page_b, 0))
+        third = h.page_homed_at(1, skip=2)
+        h.read(cpu, h.vaddr(third, 0))
+        # page_b had more Invalid tags; it must be the demotion victim.
+        assert h.entry_at(0, page_b) is None or \
+            is_imaginary(h.entry_at(0, page_b).frame)
+        assert not is_imaginary(h.entry_at(0, page_a).frame)
+
+
+class TestScoma70:
+    def test_overflow_pages_out_without_demotion(self):
+        h = _capped_harness("scoma-70")
+        cpu = h.cpu_on_node(0)
+        pages = _fill_page_cache(h, cpu, 3)
+        assert h.node(0).stats.client_page_outs == 1
+        assert h.node(0).stats.mode_demotions == 0
+        # The evicted page re-faults into an S-COMA frame again
+        # (evicting another victim), never LA-NUMA.
+        h.read(cpu, h.vaddr(pages[0], 0))
+        entry = h.entry_at(0, pages[0])
+        assert entry is not None and not is_imaginary(entry.frame)
+
+
+class TestDynBidir:
+    def test_refetch_heavy_page_promoted_back(self):
+        h = Harness(policy="dyn-bidir", page_cache_override=[1] * 4)
+        h.machine.policy.promote_threshold = 4
+        cpu = h.cpu_on_node(0)
+        page_a = h.page_homed_at(1, skip=0)
+        page_b = h.page_homed_at(1, skip=1)
+        h.read(cpu, h.vaddr(page_a, 0))     # fills the 1-frame cache
+        h.read(cpu, h.vaddr(page_b, 0))     # LRU victim page_a demoted
+        h.read(cpu, h.vaddr(page_a, 0))     # re-fault: LA-NUMA now
+        assert is_imaginary(h.entry_at(0, page_a).frame)
+        # Hammer page_a with cold lines until the promotion threshold.
+        for lip in range(1, 7):
+            h.read(cpu, h.vaddr(page_a, lip))
+        # Promotion unmapped it; the next fault re-maps it S-COMA.
+        h.read(cpu, h.vaddr(page_a, 7))
+        entry = h.entry_at(0, page_a)
+        assert entry is not None and not is_imaginary(entry.frame)
+        assert h.node(0).stats.mode_promotions >= 1

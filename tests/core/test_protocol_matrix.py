@@ -1,0 +1,121 @@
+"""Table-driven coverage of the coherence protocol transition matrix.
+
+For every reachable (directory state, requester kind, operation)
+combination, set up the state with real accesses, perform the
+operation, and check the resulting directory state, owner/sharers, and
+fine-grain tags.  This complements the scenario tests in
+``test_controller.py`` with systematic coverage.
+"""
+
+import pytest
+
+from repro.core.directory import DirState
+from repro.core.finegrain import Tag
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness
+
+HOME = 1
+CLIENT_A = 0
+CLIENT_B = 2
+CLIENT_C = 3
+
+
+def fresh(policy="scoma"):
+    return Harness(policy=policy)
+
+
+def setup_state(h, page, lip, state):
+    """Drive the machine into a named directory state for (page, lip)."""
+    vaddr = h.vaddr(page, lip)
+    if state == "HOME_EXCL":
+        h.read(h.cpu_on_node(HOME), vaddr)
+    elif state == "HOME_EXCL_DIRTY":
+        h.write(h.cpu_on_node(HOME), vaddr)
+    elif state == "SHARED_ONE":
+        h.read(h.cpu_on_node(CLIENT_A), vaddr)
+    elif state == "SHARED_MANY":
+        h.read(h.cpu_on_node(CLIENT_A), vaddr)
+        h.read(h.cpu_on_node(CLIENT_B), vaddr)
+        h.read(h.cpu_on_node(CLIENT_C), vaddr)
+    elif state == "CLIENT_EXCL":
+        h.write(h.cpu_on_node(CLIENT_A), vaddr)
+    else:
+        raise ValueError(state)
+
+
+# (initial state, actor node, op, expected dir state, expected owner,
+#  expected sharer superset)
+MATRIX = [
+    ("HOME_EXCL", CLIENT_B, "read", DirState.SHARED, -1, {CLIENT_B}),
+    ("HOME_EXCL", CLIENT_B, "write", DirState.CLIENT_EXCL, CLIENT_B, set()),
+    ("HOME_EXCL_DIRTY", CLIENT_B, "read", DirState.SHARED, -1, {CLIENT_B}),
+    ("HOME_EXCL_DIRTY", CLIENT_B, "write",
+     DirState.CLIENT_EXCL, CLIENT_B, set()),
+    ("HOME_EXCL_DIRTY", HOME, "read", DirState.HOME_EXCL, -1, set()),
+    ("HOME_EXCL_DIRTY", HOME, "write", DirState.HOME_EXCL, -1, set()),
+    ("SHARED_ONE", CLIENT_B, "read", DirState.SHARED, -1,
+     {CLIENT_A, CLIENT_B}),
+    ("SHARED_ONE", CLIENT_A, "write", DirState.CLIENT_EXCL, CLIENT_A, set()),
+    ("SHARED_ONE", CLIENT_B, "write", DirState.CLIENT_EXCL, CLIENT_B, set()),
+    ("SHARED_ONE", HOME, "read", DirState.SHARED, -1, {CLIENT_A}),
+    ("SHARED_ONE", HOME, "write", DirState.HOME_EXCL, -1, set()),
+    ("SHARED_MANY", CLIENT_A, "write", DirState.CLIENT_EXCL, CLIENT_A,
+     set()),
+    ("SHARED_MANY", HOME, "write", DirState.HOME_EXCL, -1, set()),
+    ("CLIENT_EXCL", CLIENT_A, "read", DirState.CLIENT_EXCL, CLIENT_A,
+     set()),
+    ("CLIENT_EXCL", CLIENT_A, "write", DirState.CLIENT_EXCL, CLIENT_A,
+     set()),
+    ("CLIENT_EXCL", CLIENT_B, "read", DirState.SHARED, -1,
+     {CLIENT_A, CLIENT_B}),
+    ("CLIENT_EXCL", CLIENT_B, "write", DirState.CLIENT_EXCL, CLIENT_B,
+     set()),
+    ("CLIENT_EXCL", HOME, "read", DirState.SHARED, -1, {CLIENT_A}),
+    ("CLIENT_EXCL", HOME, "write", DirState.HOME_EXCL, -1, set()),
+]
+
+
+@pytest.mark.parametrize(
+    "initial,actor,op,want_state,want_owner,want_sharers", MATRIX,
+    ids=["%s-%s-n%d" % (m[0], m[2], m[1]) for m in MATRIX])
+def test_transition(initial, actor, op, want_state, want_owner,
+                    want_sharers):
+    h = fresh()
+    page = h.page_homed_at(HOME)
+    lip = 2
+    setup_state(h, page, lip, initial)
+    vaddr = h.vaddr(page, lip)
+    if op == "read":
+        h.read(h.cpu_on_node(actor), vaddr)
+    else:
+        h.write(h.cpu_on_node(actor), vaddr)
+
+    dl = h.dir_line(page, lip)
+    assert dl.state == want_state
+    assert dl.owner == want_owner
+    assert want_sharers <= dl.sharers
+    # Home fine-grain tags agree with the directory.
+    home_tag = h.entry_at(HOME, page).tags.get(lip)
+    if want_state == DirState.HOME_EXCL:
+        assert home_tag == Tag.EXCLUSIVE
+    elif want_state == DirState.SHARED:
+        assert home_tag == Tag.SHARED
+    else:
+        assert home_tag == Tag.INVALID
+    assert check_machine(h.machine) == []
+
+
+@pytest.mark.parametrize("initial", ["HOME_EXCL", "SHARED_MANY",
+                                     "CLIENT_EXCL"])
+def test_transitions_also_hold_for_lanuma_clients(initial):
+    h = fresh(policy="lanuma")
+    page = h.page_homed_at(HOME)
+    lip = 2
+    setup_state(h, page, lip, initial)
+    # A second client write always ends CLIENT_EXCL at that client.
+    h.write(h.cpu_on_node(CLIENT_C), h.vaddr(page, lip))
+    dl = h.dir_line(page, lip)
+    assert dl.state == DirState.CLIENT_EXCL
+    assert dl.owner == CLIENT_C
+    assert check_machine(h.machine) == []

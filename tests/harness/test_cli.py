@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fft" in out
+    assert "dyn-lru" in out
+    assert "tiny" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "water-nsq", "--preset", "tiny",
+                 "--policy", "dyn-fcfs", "--page-cache", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "water-nsq / dyn-fcfs" in out
+    assert "execution_cycles" in out
+
+
+def test_run_with_migration(capsys):
+    assert main(["run", "mp3d", "--preset", "tiny", "--migration"]) == 0
+    assert "remote_misses" in capsys.readouterr().out
+
+
+def test_microbench_command(capsys):
+    assert main(["microbench"]) == 0
+    out = capsys.readouterr().out
+    assert "TLB miss" in out
+
+
+def test_suite_command(capsys):
+    assert main(["suite", "water-spa", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "scoma-70" in out
+    assert "normalized" in out
+
+
+def test_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom"])
+
+
+def test_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fft", "--policy", "magic"])
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "lu", "--preset", "tiny", "--cpus", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "shared_fraction" in out
+    assert "avg_sharing_degree" in out
+
+
+def test_evaluate_save_command(tmp_path, capsys):
+    path = tmp_path / "campaign.json"
+    assert main(["evaluate", "--preset", "tiny", "--apps", "water-spa",
+                 "--save", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "saved campaign" in out
+    import json
+    blob = json.loads(path.read_text())
+    assert "water-spa" in blob
+
+
+def test_compare_command(tmp_path, capsys):
+    import json
+    blob = {"fft": {"policies": {"lanuma": {
+        "normalized_time": 1.5, "remote_misses": 100,
+        "page_outs": 0, "execution_cycles": 1000}}}}
+    before = tmp_path / "a.json"
+    after = tmp_path / "b.json"
+    before.write_text(json.dumps(blob))
+    blob["fft"]["policies"]["lanuma"]["remote_misses"] = 200
+    after.write_text(json.dumps(blob))
+    # Identical campaigns: exit 0.
+    assert main(["compare", str(before), str(before)]) == 0
+    # Drifted campaign: exit 1 and the drift is reported.
+    assert main(["compare", str(before), str(after)]) == 1
+    assert "remote_misses" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for campaign diffing."""
+
+import pytest
+
+from repro.harness.compare import Delta, compare_campaigns
+
+
+def campaign(nt=1.5, rm=100, po=10, cyc=1000, apps=("fft",)):
+    return {app: {"policies": {
+        "lanuma": {"normalized_time": nt, "remote_misses": rm,
+                   "page_outs": po, "execution_cycles": cyc}}}
+        for app in apps}
+
+
+def test_identical_campaigns_have_no_regressions():
+    a = campaign()
+    diff = compare_campaigns(a, a)
+    assert diff.regressions() == []
+    assert diff.missing_apps == []
+    assert diff.new_apps == []
+
+
+def test_detects_metric_drift():
+    diff = compare_campaigns(campaign(rm=100), campaign(rm=150))
+    regs = diff.regressions(threshold=0.05)
+    assert len(regs) == 1
+    assert regs[0].metric == "remote_misses"
+    assert regs[0].relative == pytest.approx(0.5)
+
+
+def test_threshold_filters_small_changes():
+    diff = compare_campaigns(campaign(cyc=1000), campaign(cyc=1020))
+    assert diff.regressions(threshold=0.05) == []
+    assert len(diff.regressions(threshold=0.01)) == 1
+
+
+def test_structural_differences_reported():
+    diff = compare_campaigns(campaign(apps=("fft", "lu")),
+                             campaign(apps=("fft", "radix")))
+    assert diff.missing_apps == ["lu"]
+    assert diff.new_apps == ["radix"]
+
+
+def test_zero_baseline_handled():
+    d = Delta("fft", "lanuma", "page_outs", before=0, after=5)
+    assert d.relative == float("inf")
+    d = Delta("fft", "lanuma", "page_outs", before=0, after=0)
+    assert d.relative == 0.0
+
+
+def test_table_renders_worst_first():
+    diff = compare_campaigns(campaign(rm=100, cyc=1000),
+                             campaign(rm=200, cyc=1100))
+    text = diff.table(threshold=0.05).render()
+    lines = [l for l in text.splitlines() if "fft" in l]
+    assert "remote_misses" in lines[0]  # 100% beats 10%
+
+
+def test_round_trip_with_real_suite():
+    import repro
+    from repro.harness.export import campaign_to_dict
+    from repro.harness.runner import run_suite
+    suite = run_suite("water-spa", policies=("scoma", "lanuma"),
+                      preset="tiny", config=repro.tiny_config())
+    flat = campaign_to_dict({"water-spa": suite})
+    diff = compare_campaigns(flat, flat)
+    assert diff.regressions() == []

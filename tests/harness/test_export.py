@@ -1,0 +1,62 @@
+"""Tests for result serialization."""
+
+import json
+
+import pytest
+
+import repro
+from repro.harness.export import (campaign_to_dict, figure7_csv,
+                                  load_campaign, result_to_dict, runs_csv,
+                                  save_campaign, suite_to_dict)
+from repro.harness.runner import run_one, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite("water-spa", policies=("scoma", "lanuma"),
+                     preset="tiny", config=repro.tiny_config())
+
+
+def test_result_round_trips_through_json(suite):
+    flat = result_to_dict(suite.results["scoma"])
+    blob = json.dumps(flat)
+    back = json.loads(blob)
+    assert back["workload"] == "water-spa"
+    assert back["policy"] == "scoma"
+    assert back["summary"]["execution_cycles"] > 0
+    assert len(back["nodes"]) == 2
+    assert len(back["cpus"]) == 4
+
+
+def test_suite_to_dict(suite):
+    flat = suite_to_dict(suite)
+    assert flat["policies"]["scoma"]["normalized_time"] == 1.0
+    assert flat["policies"]["lanuma"]["remote_misses"] > 0
+    assert flat["page_cache_caps"]
+
+
+def test_save_and_load_campaign(suite, tmp_path):
+    path = tmp_path / "campaign.json"
+    save_campaign({"water-spa": suite}, str(path))
+    back = load_campaign(str(path))
+    assert back["water-spa"]["policies"]["lanuma"]["execution_cycles"] > 0
+    assert back == campaign_to_dict({"water-spa": suite})
+
+
+def test_figure7_csv(suite):
+    csv = figure7_csv({"water-spa": suite})
+    lines = csv.splitlines()
+    assert lines[0] == "application,lanuma,scoma"
+    assert lines[1].startswith("water-spa,")
+
+
+def test_runs_csv():
+    result = run_one("water-spa", "scoma", preset="tiny",
+                     config=repro.tiny_config())
+    csv = runs_csv([result])
+    assert csv.splitlines()[0].startswith("workload,policy,")
+    assert "water-spa,scoma," in csv
+
+
+def test_runs_csv_empty():
+    assert runs_csv([]) == ""

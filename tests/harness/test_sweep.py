@@ -1,0 +1,42 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+import repro
+from repro.harness.sweep import (SweepResult, cache_fraction_sweep,
+                                 render_sweep)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return cache_fraction_sweep("lu", fractions=(0.2, 0.8), preset="tiny",
+                                config=repro.tiny_config())
+
+
+def test_sweep_points_populated(sweep):
+    assert set(sweep.points) == {0.2, 0.8}
+    assert sweep.scoma_cycles > 0
+    assert sweep.lanuma_cycles > 0
+
+
+def test_bigger_cache_pages_out_less(sweep):
+    assert sweep.points[0.2][1] >= sweep.points[0.8][1]
+
+
+def test_bigger_cache_is_not_slower(sweep):
+    assert sweep.normalized(0.8) <= sweep.normalized(0.2) * 1.05
+
+
+def test_render(sweep):
+    text = render_sweep(sweep)
+    assert "lu" in text
+    assert "LANUMA baseline" in text
+    assert "0.80" in text
+
+
+def test_crossover_logic():
+    sweep = SweepResult("x", "tiny", lanuma_cycles=100, scoma_cycles=50)
+    sweep.points = {0.1: (150, 9), 0.5: (90, 3), 0.9: (60, 1)}
+    assert sweep.crossover_fraction() == 0.5
+    sweep.points = {0.1: (150, 9)}
+    assert sweep.crossover_fraction() is None

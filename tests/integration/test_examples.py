@@ -1,0 +1,44 @@
+"""Smoke-run the example scripts (the cheap ones inline, the heavy ones
+are exercised by the benchmark suite instead)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CHEAP = ("microbench_latency.py", "fault_containment.py",
+         "page_migration.py", "message_passing.py")
+
+
+@pytest.mark.parametrize("script", CHEAP)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_example_outputs_are_meaningful():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fault_containment.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "wild write rejected" in proc.stdout
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "page_migration.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "dynamic home is now node 0" in proc.stdout
+    assert "no shootdown" in proc.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", ("quickstart.py",
+                                    "adaptive_policies.py"))
+def test_heavy_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), "water-spa", "tiny"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr

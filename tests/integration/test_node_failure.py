@@ -1,0 +1,92 @@
+"""Fault containment under node failure (section 3.3).
+
+"If a node fails, the rest of the nodes may continue running, although
+applications using resources on the failed node may be terminated."
+"""
+
+import pytest
+
+from repro.core.controller import NodeFailedError
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness
+
+
+@pytest.fixture
+def degraded():
+    """A harness with live traffic, after which node 2 fail-stops."""
+    h = Harness()
+    for node in (0, 1, 2, 3):
+        page = h.page_homed_at(node if node != 2 else 1)
+        h.read(h.cpu_on_node(node if node != 2 else 0), h.vaddr(page, 0))
+    h.machine.fail_node(2)
+    return h
+
+
+def test_survivors_keep_running(degraded):
+    h = degraded
+    page = h.page_homed_at(1)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 1))
+    h.write(h.cpu_on_node(3), h.vaddr(page, 2))
+    assert h.node(0).stats.remote_misses > 0
+
+
+def test_access_to_page_homed_on_dead_node_fails(degraded):
+    h = degraded
+    page = h.page_homed_at(2)
+    with pytest.raises(NodeFailedError, match="failed"):
+        h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+
+
+def test_line_owned_by_dead_node_is_lost(degraded):
+    h = degraded
+    page = h.page_homed_at(1)
+    # Give node 2 exclusive ownership of a line *before* it dies.
+    h2 = Harness()
+    page = h2.page_homed_at(1)
+    h2.write(h2.cpu_on_node(2), h2.vaddr(page, 3))
+    h2.machine.fail_node(2)
+    with pytest.raises(NodeFailedError, match="owned by failed"):
+        h2.read(h2.cpu_on_node(0), h2.vaddr(page, 3))
+
+
+def test_invalidations_skip_dead_sharers():
+    h = Harness()
+    page = h.page_homed_at(1)
+    line = h.vaddr(page, 0)
+    h.read(h.cpu_on_node(0), line)
+    h.read(h.cpu_on_node(2), line)     # node 2 becomes a sharer
+    h.machine.fail_node(2)
+    # Node 0's write must complete: the dead sharer is acknowledged by
+    # timeout, not waited on.
+    h.write(h.cpu_on_node(0), line)
+    dl = h.dir_line(page, 0)
+    assert dl.owner == 0
+    assert 2 not in dl.sharers
+
+
+def test_dead_cpus_do_not_run():
+    from repro.sim.machine import Machine
+    from repro.workloads import make_workload
+    from tests.conftest import protocol_config
+    machine = Machine(protocol_config(), policy="scoma")
+    machine.fail_node(3)
+    assert all(cpu.done for cpu in machine.nodes[3].cpus)
+
+
+def test_fail_unknown_node_rejected():
+    h = Harness()
+    with pytest.raises(ValueError):
+        h.machine.fail_node(99)
+
+
+def test_survivor_state_remains_coherent(degraded):
+    h = degraded
+    page = h.page_homed_at(1)
+    for lip in range(4):
+        h.read(h.cpu_on_node(0), h.vaddr(page, lip))
+        h.write(h.cpu_on_node(3), h.vaddr(page, lip))
+    problems = [p for p in check_machine(h.machine)
+                # the dead node's frozen state is exempt
+                if "node 2" not in p and "(home 2)" not in p]
+    assert problems == []

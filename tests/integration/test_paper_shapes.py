@@ -1,0 +1,113 @@
+"""Integration tests: the paper's qualitative claims must reproduce.
+
+These run full policy suites at the ``tiny``/``small`` presets on a
+reduced machine and assert the *shapes* of the paper's results (section
+4.3), not absolute numbers:
+
+* SCOMA has the fewest remote misses everywhere (capacity misses are
+  absorbed by the page cache);
+* LANUMA never pages out; SCOMA never pages out; SCOMA-70 does;
+* adaptive policies cut LANUMA's remote misses and SCOMA-70's
+  page-outs simultaneously;
+* Dyn-FCFS performs no page-outs at all;
+* SCOMA allocates more frames with lower utilization than LANUMA.
+"""
+
+import pytest
+
+import repro
+from repro.harness.runner import run_suite
+
+
+@pytest.fixture(scope="module")
+def suites():
+    cfg = repro.tiny_config()
+    apps = ("lu", "ocean", "water-nsq")
+    return {app: run_suite(app, preset="tiny", config=cfg) for app in apps}
+
+
+def test_scoma_has_fewest_remote_misses(suites):
+    for app, suite in suites.items():
+        scoma = suite.remote_misses("scoma")
+        for policy in ("lanuma", "scoma-70", "dyn-fcfs", "dyn-lru"):
+            assert scoma <= suite.remote_misses(policy), \
+                "%s: scoma %d vs %s %d" % (app, scoma, policy,
+                                           suite.remote_misses(policy))
+
+
+def test_lanuma_has_most_remote_misses_for_capacity_apps(suites):
+    for app in ("lu", "ocean"):
+        suite = suites[app]
+        lanuma = suite.remote_misses("lanuma")
+        for policy in ("scoma", "dyn-util", "dyn-lru"):
+            assert lanuma > suite.remote_misses(policy)
+
+
+def test_page_out_behaviour_by_policy(suites):
+    for suite in suites.values():
+        assert suite.page_outs("scoma") == 0
+        assert suite.page_outs("lanuma") == 0
+        assert suite.page_outs("dyn-fcfs") == 0
+        assert suite.page_outs("scoma-70") > 0
+
+
+def test_adaptive_pageouts_far_below_scoma70(suites):
+    for app, suite in suites.items():
+        for policy in ("dyn-util", "dyn-lru"):
+            assert (suite.page_outs(policy)
+                    < suite.page_outs("scoma-70")), app
+
+
+def test_adaptive_remote_misses_below_lanuma(suites):
+    for app, suite in suites.items():
+        for policy in ("dyn-fcfs", "dyn-util", "dyn-lru"):
+            assert (suite.remote_misses(policy)
+                    <= suite.remote_misses("lanuma")), app
+
+
+def test_adaptives_beat_worst_static(suites):
+    """The paper: adaptive configurations outperform static LANUMA and
+    SCOMA-70 (Figure 7)."""
+    for app, suite in suites.items():
+        worst_static = max(suite.normalized_time("lanuma"),
+                           suite.normalized_time("scoma-70"))
+        for policy in ("dyn-util", "dyn-lru"):
+            assert suite.normalized_time(policy) < worst_static, app
+
+
+def test_scoma_uses_more_frames_with_lower_utilization(suites):
+    for app, suite in suites.items():
+        scoma = suite.results["scoma"].stats
+        lanuma = suite.results["lanuma"].stats
+        assert scoma.frames_allocated_total > lanuma.frames_allocated_total
+        # LANUMA allocates imaginary frames instead of real ones.
+        lanuma_imag = sum(n.imaginary_frames_allocated
+                          for n in lanuma.nodes)
+        assert lanuma_imag > 0
+
+
+def test_execution_time_ordering_capacity_apps(suites):
+    """LU and Ocean: SCOMA fastest, LANUMA much slower, adaptives in
+    between (the headline Figure 7 shape)."""
+    for app in ("lu", "ocean"):
+        suite = suites[app]
+        assert suite.normalized_time("lanuma") > 1.2
+        for policy in ("dyn-util", "dyn-lru"):
+            assert (1.0 <= suite.normalized_time(policy)
+                    < suite.normalized_time("lanuma")), app
+
+
+def test_dram_pit_slows_lanuma_down():
+    from dataclasses import replace
+
+    from repro.sim.latency import LatencyModel
+
+    cfg = repro.tiny_config()
+    dram = replace(cfg, latency=LatencyModel(pit_access=10))
+    sram_r = run_suite("lu", policies=("lanuma",), preset="tiny",
+                       config=cfg).results["lanuma"]
+    dram_r = run_suite("lu", policies=("lanuma",), preset="tiny",
+                       config=dram).results["lanuma"]
+    slowdown = (dram_r.stats.execution_cycles
+                / sram_r.stats.execution_cycles)
+    assert 1.0 < slowdown < 1.25  # paper: 2%-16%

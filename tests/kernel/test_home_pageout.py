@@ -1,0 +1,83 @@
+"""Tests for home-node page-outs (section 3.3)."""
+
+import pytest
+
+from repro.core.finegrain import Tag
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness
+
+
+def test_home_pageout_flushes_all_clients(harness):
+    h = harness
+    page = h.page_homed_at(1)
+    gpage = h.gpage(page)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+    h.write(h.cpu_on_node(2), h.vaddr(page, 1))
+    h.read(h.cpu_on_node(1), h.vaddr(page, 2))   # home CPU too
+
+    h.node(1).kernel.page_out_home(gpage, h.clock)
+
+    assert h.node(1).directory.page(gpage) is None
+    for node_id in (0, 1, 2):
+        assert h.entry_at(node_id, page) is None
+    assert h.node(1).stats.home_page_outs == 1
+    # Clients' page-outs were forced.
+    assert h.node(0).stats.client_page_outs == 1
+    assert h.node(2).stats.client_page_outs == 1
+    assert check_machine(h.machine) == []
+
+
+def test_repage_in_after_home_pageout(harness):
+    h = harness
+    page = h.page_homed_at(1)
+    gpage = h.gpage(page)
+    vaddr = h.vaddr(page, 3)
+    h.write(h.cpu_on_node(0), vaddr)
+    h.node(1).kernel.page_out_home(gpage, h.clock)
+
+    # The page faults back in cleanly at home and client.
+    h.read(h.cpu_on_node(1), vaddr)
+    assert h.entry_at(1, page).tags.get(3) == Tag.EXCLUSIVE
+    h.read(h.cpu_on_node(0), vaddr)
+    assert h.entry_at(0, page).tags.get(3) == Tag.SHARED
+    assert check_machine(h.machine) == []
+
+
+def test_home_pageout_resets_status_flags():
+    from tests.conftest import Harness, protocol_config
+    h = Harness(config=protocol_config(home_status_flags=True))
+    page = h.page_homed_at(1)
+    gpage = h.gpage(page)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+    assert gpage in h.node(0).kernel.home_status
+    h.node(1).kernel.page_out_home(gpage, h.clock)
+    assert gpage not in h.node(0).kernel.home_status
+
+
+def test_home_pageout_of_foreign_page_rejected(harness):
+    h = harness
+    page = h.page_homed_at(1)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+    with pytest.raises(KeyError):
+        h.node(2).kernel.page_out_home(h.gpage(page), h.clock)
+
+
+def test_home_pageout_completion_waits_for_acks(harness):
+    h = harness
+    page = h.page_homed_at(1)
+    gpage = h.gpage(page)
+    h.read(h.cpu_on_node(1), h.vaddr(page, 0))
+    t_no_clients_page = h.page_homed_at(1, skip=1)
+    h.read(h.cpu_on_node(1), h.vaddr(t_no_clients_page, 0))
+
+    # With two clients the page-out takes at least two network round
+    # trips longer than with none.
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+    h.read(h.cpu_on_node(2), h.vaddr(page, 0))
+    start = h.clock
+    with_clients = h.node(1).kernel.page_out_home(gpage, start) - start
+    without = (h.node(1).kernel.page_out_home(
+        h.gpage(t_no_clients_page), start) - start)
+    lat = h.machine.config.latency
+    assert with_clients >= without + 2 * lat.net_latency

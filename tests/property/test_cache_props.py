@@ -1,0 +1,122 @@
+"""Property-based tests for the caches, against reference models."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache, CacheHierarchy, LineState
+from repro.sim.config import CacheConfig
+
+LINES = st.integers(min_value=0, max_value=63)
+STATES = st.sampled_from([LineState.SHARED, LineState.EXCLUSIVE,
+                          LineState.MODIFIED])
+
+
+class ReferenceCache:
+    """Trivially correct set-associative LRU model."""
+
+    def __init__(self, num_sets, assoc):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def lookup(self, line):
+        s = self.sets[line % self.num_sets]
+        if line in s:
+            s.move_to_end(line)
+            return s[line]
+        return LineState.INVALID
+
+    def peek(self, line):
+        return self.sets[line % self.num_sets].get(line, LineState.INVALID)
+
+    def insert(self, line, state):
+        s = self.sets[line % self.num_sets]
+        victim = None
+        if len(s) >= self.assoc:
+            victim = s.popitem(last=False)
+        s[line] = state
+        return victim
+
+    def remove(self, line):
+        return self.sets[line % self.num_sets].pop(line, LineState.INVALID)
+
+
+@st.composite
+def cache_ops(draw):
+    return draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("lookup"), LINES),
+            st.tuples(st.just("insert"), LINES, STATES),
+            st.tuples(st.just("remove"), LINES),
+        ),
+        min_size=1, max_size=200))
+
+
+@given(cache_ops())
+@settings(max_examples=200, deadline=None)
+def test_cache_matches_reference_model(ops):
+    cache = Cache(CacheConfig(256, 32, 2))  # 4 sets, 2-way
+    ref = ReferenceCache(4, 2)
+    for op in ops:
+        if op[0] == "lookup":
+            assert cache.lookup(op[1]) == ref.lookup(op[1])
+        elif op[0] == "insert":
+            _, line, state = op
+            if ref.peek(line) == LineState.INVALID:
+                assert cache.insert(line, state) == ref.insert(line, state)
+        else:
+            assert cache.remove(op[1]) == ref.remove(op[1])
+
+
+@given(st.lists(st.tuples(LINES, st.booleans()), min_size=1, max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_hierarchy_inclusion_invariant(accesses):
+    """After any access sequence, L1 contents are a subset of L2."""
+    h = CacheHierarchy(CacheConfig(128, 32, 2), CacheConfig(256, 32, 2))
+    for line, write in accesses:
+        level, state = h.probe(line)
+        if level == "miss":
+            h.fill(line, LineState.MODIFIED if write else LineState.SHARED)
+        elif write and state != LineState.MODIFIED:
+            h.write_hit(line)
+    for line in h.l1.resident_lines():
+        assert line in h.l2, "inclusion violated for line %d" % line
+
+
+@given(st.lists(st.tuples(LINES, st.booleans()), min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_hierarchy_dirty_lines_never_lost_silently(accesses):
+    """Every MODIFIED fill is either still resident or was reported as a
+    MODIFIED victim by fill()."""
+    h = CacheHierarchy(CacheConfig(128, 32, 2), CacheConfig(256, 32, 2))
+    dirty = set()
+    for line, write in accesses:
+        level, state = h.probe(line)
+        if level == "miss":
+            state = LineState.MODIFIED if write else LineState.SHARED
+            for vline, vstate in h.fill(line, state):
+                if vline in dirty:
+                    assert vstate == LineState.MODIFIED, \
+                        "dirty line %d evicted clean" % vline
+                    dirty.discard(vline)
+        elif write and state != LineState.MODIFIED:
+            h.write_hit(line)
+        if write:
+            dirty.add(line)
+    for line in dirty:
+        assert h.state(line) == LineState.MODIFIED
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200),
+       st.integers(1, 16))
+@settings(max_examples=100, deadline=None)
+def test_tlb_never_exceeds_capacity_and_keeps_mru(vpages, entries):
+    from repro.mem.tlb import Tlb
+    tlb = Tlb(entries)
+    for vp in vpages:
+        if tlb.lookup(vp) is None:
+            tlb.insert(vp, vp * 10)
+        assert len(tlb) <= entries
+    assert tlb.lookup(vpages[-1]) == vpages[-1] * 10

@@ -1,0 +1,94 @@
+"""Property-based coherence testing: random access programs.
+
+Hypothesis generates random multi-CPU access interleavings over a small
+shared region; after every program the machine-wide coherence
+invariants must hold, for each page-mode policy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.invariants import check_machine
+
+from tests.conftest import Harness, protocol_config
+
+ACCESS = st.tuples(
+    st.integers(0, 7),      # cpu
+    st.integers(0, 7),      # page
+    st.integers(0, 7),      # line in page
+    st.booleans(),          # write?
+)
+
+
+@given(st.lists(ACCESS, min_size=1, max_size=120),
+       st.sampled_from(["scoma", "lanuma", "dyn-lru", "dyn-fcfs"]))
+@settings(max_examples=60, deadline=None)
+def test_random_programs_stay_coherent(accesses, policy):
+    override = [3] * 4 if policy.startswith("dyn") else None
+    h = Harness(policy=policy, page_cache_override=override)
+    for cpu, page, lip, write in accesses:
+        h.access(cpu, h.vaddr(page, lip), write)
+    problems = check_machine(h.machine)
+    assert problems == [], problems
+
+
+@given(st.lists(ACCESS, min_size=1, max_size=80))
+@settings(max_examples=30, deadline=None)
+def test_random_programs_with_migration_stay_coherent(accesses):
+    cfg = protocol_config(enable_migration=True, migration_threshold=6)
+    h = Harness(policy="scoma", config=cfg)
+    for cpu, page, lip, write in accesses:
+        h.access(cpu, h.vaddr(page, lip), write)
+        h.machine.migration.drain()
+    problems = check_machine(h.machine)
+    assert problems == [], problems
+
+
+@given(st.lists(ACCESS, min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_last_writer_owns_the_line(accesses):
+    """After any program, for every line the last writing node either
+    still owns it exclusively or an explicit protocol event (another
+    node's access, eviction, page-out) has since moved it."""
+    h = Harness(policy="scoma")
+    last_writer = {}
+    touched_after = {}
+    for cpu, page, lip, write in accesses:
+        h.access(cpu, h.vaddr(page, lip), write)
+        node = cpu // 2
+        key = (page, lip)
+        if write:
+            last_writer[key] = node
+            touched_after[key] = set()
+        elif key in touched_after:
+            touched_after[key].add(node)
+    from repro.core.directory import DirState
+    for (page, lip), writer in last_writer.items():
+        dl = h.dir_line(page, lip)
+        others = touched_after[(page, lip)] - {writer}
+        home = h.machine.dynamic_home_of(h.gpage(page))
+        if not others:
+            # Nobody intervened: the writer must still be exclusive
+            # (either as a client owner or as the home itself).
+            if writer == home:
+                assert dl.state == DirState.HOME_EXCL
+            else:
+                assert dl.state == DirState.CLIENT_EXCL
+                assert dl.owner == writer
+
+
+@given(st.lists(ACCESS, min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_latency_is_always_positive_and_bounded(accesses):
+    h = Harness(policy="dyn-util", page_cache_override=[2] * 4)
+    lat = h.machine.config.latency
+    # With the harness's huge inter-access gaps nothing is contended, so
+    # every access must cost between 1 cycle and one fault + one
+    # page-out + one worst-case miss.
+    upper = (lat.expected_fault_remote + lat.pageout_kernel
+             + 2 * lat.net_latency
+             + lat.pageout_per_line * h.machine.config.lines_per_page
+             + lat.expected_write_shared(4) + lat.tlb_miss + 100)
+    for cpu, page, lip, write in accesses:
+        cost = h.access(cpu, h.vaddr(page, lip), write)
+        assert 1 <= cost <= upper, cost

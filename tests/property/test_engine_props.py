@@ -1,0 +1,77 @@
+"""Property-based tests for the event-engine primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Barrier, LockTable, Resource
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(1, 500)),
+                min_size=1, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_resource_grants_never_overlap(requests):
+    """FCFS occupancy: each grant starts at or after the previous end,
+    and never before its request time."""
+    r = Resource("x")
+    prev_end = 0
+    for now, duration in requests:
+        end = r.acquire(now, duration)
+        start = end - duration
+        assert start >= prev_end
+        assert start >= now
+        prev_end = end
+    assert r.busy_cycles == sum(d for _, d in requests)
+
+
+@given(st.lists(st.integers(0, 100_000), min_size=2, max_size=32),
+       st.integers(0, 100))
+@settings(max_examples=200, deadline=None)
+def test_barrier_release_time_is_max_plus_cost(arrivals, cost):
+    b = Barrier(parties=len(arrivals), cost=cost)
+    released = None
+    for cpu, t in enumerate(arrivals):
+        released = b.arrive(cpu, t)
+    assert released is not None
+    release_time = max(arrivals) + cost
+    assert released == [(cpu, release_time) for cpu in range(len(arrivals))]
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_lock_handoff_is_fcfs_and_exclusive(cpu_seq):
+    """Any interleaving of acquires resolves to FCFS handoff with at
+    most one holder at a time."""
+    locks = LockTable()
+    order = []
+    waiting = []
+    holder = None
+    t = 0
+    for cpu in cpu_seq:
+        t += 1
+        granted = locks.acquire(7, cpu, t)
+        if granted is None:
+            waiting.append(cpu)
+        else:
+            assert holder is None
+            holder = cpu
+            order.append(cpu)
+        # Release with 30% duty cycle to exercise handoff.
+        if holder is not None and len(order) % 3 == 0:
+            woken = locks.release(7, holder, t)
+            if woken is None:
+                holder = None
+            else:
+                next_cpu, _ = woken
+                assert next_cpu == waiting.pop(0)
+                holder = next_cpu
+                order.append(next_cpu)
+    # Drain the queue.
+    while holder is not None:
+        woken = locks.release(7, holder, t)
+        if woken is None:
+            holder = None
+        else:
+            next_cpu, _ = woken
+            assert next_cpu == waiting.pop(0)
+            holder = next_cpu
+    assert waiting == []

@@ -1,0 +1,73 @@
+"""The latency model's composites must track Table 1 of the paper."""
+
+import pytest
+
+from repro.sim.latency import PAPER_TABLE1, LatencyModel, paper_latency_model
+
+
+@pytest.fixture
+def lat():
+    return paper_latency_model()
+
+
+def within(actual, paper, tolerance=0.02):
+    return abs(actual - paper) <= max(2, paper * tolerance)
+
+
+def test_l2_hit_matches_paper(lat):
+    assert lat.expected_l2_hit == PAPER_TABLE1["l2_hit"]
+
+
+def test_local_memory_matches_paper(lat):
+    assert lat.expected_local_memory == PAPER_TABLE1["local_memory"]
+
+
+def test_remote_clean_within_2pct(lat):
+    assert within(lat.expected_remote_clean, PAPER_TABLE1["remote_clean"])
+
+
+def test_2party_modified_within_2pct(lat):
+    assert within(lat.expected_2party_modified,
+                  PAPER_TABLE1["2party_modified"])
+
+
+def test_3party_modified_within_2pct(lat):
+    assert within(lat.expected_3party_modified,
+                  PAPER_TABLE1["3party_modified"])
+
+
+def test_2party_write_shared_within_2pct(lat):
+    assert within(lat.expected_2party_write_shared,
+                  PAPER_TABLE1["2party_write_shared"])
+
+
+def test_write_shared_base_within_2pct(lat):
+    assert within(lat.expected_write_shared(0),
+                  PAPER_TABLE1["write_shared_base"])
+
+
+def test_write_shared_scales_at_80_per_sharer(lat):
+    base = lat.expected_write_shared(0)
+    assert lat.expected_write_shared(3) - base == 3 * 80
+
+
+def test_fault_costs_match_paper(lat):
+    assert lat.expected_fault_local == PAPER_TABLE1["fault_local"]
+    assert lat.expected_fault_remote == PAPER_TABLE1["fault_remote"]
+
+
+def test_tlb_miss_matches_paper(lat):
+    assert lat.tlb_miss == PAPER_TABLE1["tlb_miss"]
+
+
+def test_dram_pit_raises_remote_latency():
+    sram = LatencyModel(pit_access=2)
+    dram = LatencyModel(pit_access=10)
+    # Two PIT accesses (client forward + home reverse) on the path.
+    assert (dram.expected_remote_clean - sram.expected_remote_clean) == 16
+
+
+def test_model_is_mutable_per_experiment():
+    lat = LatencyModel(net_latency=240)
+    assert lat.expected_remote_clean == (paper_latency_model()
+                                         .expected_remote_clean + 240)

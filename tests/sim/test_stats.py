@@ -1,0 +1,47 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.sim.stats import CpuStats, MachineStats, NodeStats
+
+
+def test_machine_aggregates_node_counters():
+    stats = MachineStats(nodes=[NodeStats(0), NodeStats(1)],
+                         cpus=[CpuStats(0), CpuStats(1)])
+    stats.nodes[0].remote_misses = 10
+    stats.nodes[1].remote_misses = 5
+    stats.nodes[0].client_page_outs = 2
+    stats.nodes[1].page_faults_local_home = 3
+    stats.nodes[1].page_faults_remote_home = 4
+    assert stats.remote_misses == 15
+    assert stats.client_page_outs == 2
+    assert stats.page_faults == 7
+
+
+def test_average_utilization():
+    stats = MachineStats()
+    assert stats.average_utilization == 0.0
+    stats.frames_allocated_total = 4
+    stats.touched_line_fraction_sum = 2.0
+    assert stats.average_utilization == 0.5
+
+
+def test_references_sum_over_cpus():
+    stats = MachineStats(cpus=[CpuStats(0), CpuStats(1)])
+    stats.cpus[0].references = 7
+    stats.cpus[1].references = 8
+    assert stats.references == 15
+
+
+def test_summary_is_flat_and_rounded():
+    stats = MachineStats(nodes=[NodeStats(0)], cpus=[CpuStats(0)])
+    stats.execution_cycles = 1000
+    stats.frames_allocated_total = 3
+    stats.touched_line_fraction_sum = 1.0
+    summary = stats.summary()
+    assert summary["execution_cycles"] == 1000
+    assert summary["average_utilization"] == pytest.approx(0.333, abs=1e-3)
+    assert set(summary) == {
+        "execution_cycles", "references", "remote_misses",
+        "client_page_outs", "page_faults", "frames_allocated",
+        "average_utilization"}

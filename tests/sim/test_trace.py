@@ -1,0 +1,103 @@
+"""Tests for the event tracer and the resource report."""
+
+import pytest
+
+import repro
+from repro.sim.machine import Machine
+from repro.sim.trace import (AccessEvent, FaultEvent, MigrateEvent,
+                             PageOutEvent, TraceRecorder)
+from repro.workloads import make_workload
+
+
+def run_traced(policy="scoma", kinds=None, cap=None, migration=False):
+    cfg = repro.tiny_config(page_cache_frames=cap,
+                            enable_migration=migration,
+                            migration_threshold=16)
+    machine = Machine(cfg, policy=policy)
+    with TraceRecorder(machine, kinds=kinds) as trace:
+        machine.run(make_workload("water-spa", "tiny"))
+    return machine, trace
+
+
+def test_records_accesses_and_faults():
+    machine, trace = run_traced(kinds={"access", "fault"})
+    summary = trace.summary()
+    assert summary["AccessEvent"] == machine.stats.references
+    assert summary["FaultEvent"] == machine.stats.page_faults
+    assert summary["dropped"] == 0
+
+
+def test_access_events_have_positive_latency():
+    _, trace = run_traced(kinds={"access"})
+    assert all(e.latency >= 1 for e in trace.accesses())
+
+
+def test_fault_events_classify_home():
+    _, trace = run_traced(kinds={"fault"})
+    faults = [e for e in trace.events if isinstance(e, FaultEvent)]
+    assert any(e.remote_home for e in faults)
+    assert any(not e.remote_home for e in faults)
+    assert any(e.mode == "LOCAL" for e in faults)
+    assert any(e.mode == "SCOMA" for e in faults)
+
+
+def test_pageouts_traced_under_capped_policy():
+    machine, trace = run_traced(policy="dyn-lru", cap=3,
+                                kinds={"pageout"})
+    pageouts = [e for e in trace.events if isinstance(e, PageOutEvent)]
+    assert len(pageouts) == sum(
+        n.client_page_outs + n.mode_promotions for n in machine.stats.nodes)
+    assert any(e.demoted for e in pageouts)
+
+
+def test_migrations_traced():
+    machine, trace = run_traced(kinds={"migrate"}, migration=True)
+    migrations = [e for e in trace.events if isinstance(e, MigrateEvent)]
+    assert len(migrations) == machine.migration.migrations
+
+
+def test_detach_restores_hot_path():
+    machine, trace = run_traced(kinds={"access"})
+    # After detach, the wrapped method is gone from the instance dict.
+    assert "_access" not in machine.__dict__
+
+
+def test_max_events_drops_excess():
+    cfg = repro.tiny_config()
+    machine = Machine(cfg, policy="scoma")
+    with TraceRecorder(machine, kinds={"access"}, max_events=10) as trace:
+        machine.run(make_workload("water-spa", "tiny"))
+    assert len(trace.events) == 10
+    assert trace.dropped > 0
+
+
+def test_latency_histogram_covers_all_accesses():
+    _, trace = run_traced(kinds={"access"})
+    hist = trace.latency_histogram()
+    assert sum(hist.values()) == len(trace.accesses())
+    assert hist["<=2"] > 0     # L1 hits exist
+
+
+def test_csv_export():
+    _, trace = run_traced(kinds={"fault"})
+    csv = trace.to_csv()
+    assert csv.startswith("# FaultEvent")
+    assert "time,node,vpage,gpage,mode,remote_home" in csv
+
+
+def test_unknown_kind_rejected():
+    machine = Machine(repro.tiny_config())
+    with pytest.raises(ValueError):
+        TraceRecorder(machine, kinds={"access", "vibes"})
+
+
+def test_resource_report():
+    cfg = repro.tiny_config()
+    machine = Machine(cfg, policy="scoma")
+    machine.run(make_workload("water-spa", "tiny"))
+    report = machine.resource_report()
+    assert all(0.0 <= v <= 1.0 for v in report.values())
+    assert "node0.ctrl" in report
+    hottest = machine.hottest_resources(3)
+    assert len(hottest) == 3
+    assert hottest[0][1] >= hottest[1][1] >= hottest[2][1]

@@ -1,0 +1,23 @@
+"""docs/API.md must stay in sync with the docstrings."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_api_reference_is_current():
+    generated = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True, text=True, timeout=60, check=True).stdout
+    committed = (ROOT / "docs" / "API.md").read_text()
+    assert generated == committed, \
+        "docs/API.md is stale; run: python tools/gen_api_docs.py > docs/API.md"
+
+
+def test_api_reference_covers_key_modules():
+    text = (ROOT / "docs" / "API.md").read_text()
+    for module in ("repro.core.controller", "repro.sim.machine",
+                   "repro.kernel.vm", "repro.harness.runner"):
+        assert "## `%s`" % module in text

@@ -1,0 +1,34 @@
+"""The paper preset must match Table 2's problem sizes exactly."""
+
+import pytest
+
+from repro.workloads import APPLICATIONS, make_workload
+
+
+def test_paper_sizes_match_table2():
+    assert make_workload("barnes", "paper").n == 8192
+    assert make_workload("barnes", "paper").iterations == 4
+    assert make_workload("fft", "paper").points == 65536
+    lu = make_workload("lu", "paper")
+    assert (lu.n, lu.block) == (512, 16)
+    mp3d = make_workload("mp3d", "paper")
+    assert (mp3d.n, mp3d.iterations) == (20000, 5)
+    assert make_workload("ocean", "paper").g == 258
+    radix = make_workload("radix", "paper")
+    assert (radix.n, radix.radix) == (1 << 20, 1024)
+    assert make_workload("water-nsq", "paper").n == 512
+    assert make_workload("water-spa", "paper").n == 512
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("app", APPLICATIONS)
+def test_paper_workloads_construct(app):
+    """Setup (segment creation + plan precomputation) completes for the
+    full paper sizes."""
+    from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
+    wl = make_workload(app, "paper")
+    ipc = GlobalIpcServer(8, 4096)
+    wl.setup(AddressSpaceLayout(ipc, 4096), 32)
+    gen = wl.generator(0, 32)
+    ops = [next(gen) for _ in range(100)]
+    assert len(ops) == 100

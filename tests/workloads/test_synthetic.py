@@ -1,0 +1,114 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.invariants import check_machine
+from repro.sim.ops import OP_BARRIER, OP_READ, OP_WRITE
+from repro.workloads.synthetic import PATTERNS, SyntheticWorkload
+
+NUM_CPUS = 8
+
+
+def build(pattern, **kw):
+    wl = SyntheticWorkload(pattern, shared_kb=32,
+                           refs_per_cpu_per_iter=200, iterations=2, **kw)
+    ipc = GlobalIpcServer(4, 1024)
+    layout = AddressSpaceLayout(ipc, 1024)
+    wl.setup(layout, NUM_CPUS)
+    return wl, layout
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_patterns_emit_valid_ops(pattern):
+    wl, layout = build(pattern)
+    for cpu in range(NUM_CPUS):
+        refs = 0
+        for op in wl.generator(cpu, NUM_CPUS):
+            if op[0] in (OP_READ, OP_WRITE):
+                refs += 1
+                assert layout.is_mapped(op[1] // 1024)
+        assert refs > 0
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_patterns_barrier_aligned(pattern):
+    wl, _ = build(pattern)
+    seqs = []
+    for cpu in range(NUM_CPUS):
+        seqs.append([op[1] for op in wl.generator(cpu, NUM_CPUS)
+                     if op[0] == OP_BARRIER])
+    assert all(seq == seqs[0] for seq in seqs)
+
+
+def test_block_pattern_stays_in_own_block():
+    wl, _ = build("block")
+    per_cpu_lines = wl.num_lines // NUM_CPUS
+    for cpu in (0, 3, NUM_CPUS - 1):
+        base = wl.array.vbase + cpu * per_cpu_lines * 32
+        end = base + per_cpu_lines * 32
+        for op in wl.generator(cpu, NUM_CPUS):
+            if op[0] in (OP_READ, OP_WRITE):
+                assert base <= op[1] < end
+
+
+def test_producer_consumer_alternates():
+    wl, _ = build("producer_consumer")
+    ops = list(wl.generator(2, NUM_CPUS))
+    phases = []
+    current = []
+    for op in ops:
+        if op[0] == OP_BARRIER:
+            phases.append(current)
+            current = []
+        elif op[0] in (OP_READ, OP_WRITE):
+            current.append(op)
+    assert all(op[0] == OP_WRITE for op in phases[0])   # produce
+    assert all(op[0] == OP_READ for op in phases[1])    # consume
+    # The consume phase reads the *upstream* CPU's block.
+    per_cpu_lines = wl.num_lines // NUM_CPUS
+    upstream_base = wl.array.vbase + 1 * per_cpu_lines * 32
+    assert phases[1][0][1] == upstream_base
+
+
+def test_migratory_rotates_ownership():
+    wl, _ = build("migratory")
+    first_iter_lines = set()
+    for op in wl.generator(0, NUM_CPUS):
+        if op[0] in (OP_READ, OP_WRITE):
+            first_iter_lines.add(op[1])
+        if op[0] == OP_BARRIER:
+            break
+    second_iter_lines = set()
+    seen_barrier = False
+    for op in wl.generator(0, NUM_CPUS):
+        if op[0] == OP_BARRIER:
+            if seen_barrier:
+                break
+            seen_barrier = True
+        elif seen_barrier and op[0] in (OP_READ, OP_WRITE):
+            second_iter_lines.add(op[1])
+    assert first_iter_lines.isdisjoint(second_iter_lines)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SyntheticWorkload("zigzag")
+    with pytest.raises(ValueError):
+        SyntheticWorkload("block", sweep_fraction=0.0)
+    with pytest.raises(ValueError):
+        SyntheticWorkload("block", write_fraction=1.5)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_runs_coherently_on_a_machine(pattern):
+    cfg = MachineConfig(num_nodes=2, cpus_per_node=2)
+    machine = Machine(cfg, policy="dyn-lru",
+                      page_cache_override=[4, 4])
+    wl = SyntheticWorkload(pattern, shared_kb=16,
+                           refs_per_cpu_per_iter=150, iterations=2)
+    result = machine.run(wl)
+    assert result.stats.references > 0
+    assert check_machine(machine) == []

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Generate docs/API.md from the package's docstrings.
+
+Walks every module under ``repro``, collects module / class / function
+docstring summaries, and renders a compact API reference.  Run from the
+repository root::
+
+    python tools/gen_api_docs.py > docs/API.md
+"""
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def first_line(doc: "str | None") -> str:
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].rstrip(".")
+
+
+def describe_module(path: pathlib.Path) -> "list[str]":
+    rel = path.relative_to(SRC.parent)
+    module = str(rel.with_suffix("")).replace("/", ".")
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    if module.endswith("__main__"):
+        return []
+    tree = ast.parse(path.read_text())
+    lines = ["## `%s`" % module, ""]
+    summary = first_line(ast.get_docstring(tree))
+    if summary:
+        lines += [summary + ".", ""]
+    rows = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            rows.append(("class `%s`" % node.name,
+                         first_line(ast.get_docstring(node))))
+            for member in node.body:
+                if (isinstance(member, ast.FunctionDef)
+                        and not member.name.startswith("_")):
+                    rows.append(("`%s.%s()`" % (node.name, member.name),
+                                 first_line(ast.get_docstring(member))))
+        elif isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+            rows.append(("`%s()`" % node.name,
+                         first_line(ast.get_docstring(node))))
+    if rows:
+        lines += ["| item | summary |", "|---|---|"]
+        lines += ["| %s | %s |" % (item, summary.replace("|", "\\|"))
+                  for item, summary in rows]
+        lines.append("")
+    return lines
+
+
+def main() -> int:
+    out = ["# API reference",
+           "",
+           "Generated from docstrings by `tools/gen_api_docs.py`;",
+           "regenerate after changing the public API.",
+           ""]
+    for path in sorted(SRC.rglob("*.py")):
+        out += describe_module(path)
+    sys.stdout.write("\n".join(out) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
