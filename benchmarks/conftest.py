@@ -7,25 +7,34 @@ per application), so they are computed once per session and shared:
 
 The benchmarks default to the ``small`` preset so the whole directory
 finishes in a few minutes; set ``PRISM_BENCH_PRESET=default`` for the
-paper-scale runs recorded in EXPERIMENTS.md.
+paper-scale runs recorded in EXPERIMENTS.md.  Set ``PRISM_BENCH_JOBS=N``
+to fan the policy suites out across N worker processes.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.harness.runner import run_suite
+from repro.harness.session import ExperimentSpec, Session
 
 PRESET = os.environ.get("PRISM_BENCH_PRESET", "small")
 
+SESSION = Session(jobs=int(os.environ.get("PRISM_BENCH_JOBS", "1")))
+
 _SUITES: "dict[str, object]" = {}
+
+
+def run_spec(workload: str, policy: str, **spec_kwargs):
+    """One (workload, policy) cell through the shared session."""
+    return SESSION.run(ExperimentSpec(workload, policy, preset=PRESET,
+                                      **spec_kwargs))
 
 
 def get_suite(app: str):
     """The 6-policy suite for ``app`` (cached per session)."""
     suite = _SUITES.get(app)
     if suite is None:
-        suite = run_suite(app, preset=PRESET)
+        suite = SESSION.run_workload_suite(app, preset=PRESET)
         _SUITES[app] = suite
     return suite
 

@@ -14,13 +14,13 @@ from dataclasses import replace
 
 import pytest
 
-from repro.harness.runner import derive_page_cache_caps, run_one
+from repro.harness.runner import derive_page_cache_caps
 from repro.sim.config import MachineConfig
 from repro.sim.latency import LatencyModel
 from repro.sim.machine import Machine
 from repro.workloads.synthetic import SyntheticWorkload
 
-from conftest import PRESET
+from conftest import run_spec
 
 
 def test_home_status_flag_benefit(benchmark):
@@ -28,12 +28,12 @@ def test_home_status_flag_benefit(benchmark):
     a thrashing SCOMA-70-style run re-faults constantly."""
     def pair():
         results = {}
-        scoma = run_one("water-nsq", "scoma", preset=PRESET)
+        scoma = run_spec("water-nsq", "scoma")
         caps = derive_page_cache_caps(scoma, fraction=0.4)
         for flag in (False, True):
             cfg = MachineConfig(home_status_flags=flag)
-            results[flag] = run_one("water-nsq", "scoma-70", preset=PRESET,
-                                    config=cfg, page_cache_override=caps)
+            results[flag] = run_spec("water-nsq", "scoma-70", config=cfg,
+                                     page_cache_override=tuple(caps))
         return results
 
     results = benchmark.pedantic(pair, rounds=1, iterations=1)
@@ -79,8 +79,8 @@ def test_ccnuma_vs_lanuma(benchmark):
     """LA-NUMA = CC-NUMA + PIT translation; the measured gap must be
     positive but small (the paper's section 4.3 conclusion)."""
     def pair():
-        return (run_one("lu", "lanuma", preset=PRESET),
-                run_one("lu", "ccnuma", preset=PRESET))
+        return (run_spec("lu", "lanuma"),
+                run_spec("lu", "ccnuma"))
 
     lanuma, ccnuma = benchmark.pedantic(pair, rounds=1, iterations=1)
     overhead = (lanuma.stats.execution_cycles
@@ -99,8 +99,7 @@ def test_directory_client_frames_mitigation(benchmark):
         for mitigate in (False, True):
             cfg = replace(MachineConfig(directory_caches_client_frames=mitigate),
                           latency=LatencyModel(pit_access=10, pit_hash=40))
-            results[mitigate] = run_one("water-nsq", "scoma", preset=PRESET,
-                                        config=cfg)
+            results[mitigate] = run_spec("water-nsq", "scoma", config=cfg)
         return results
 
     results = benchmark.pedantic(pair, rounds=1, iterations=1)

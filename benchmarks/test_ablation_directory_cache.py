@@ -8,10 +8,9 @@ execution time — degrades monotonically as the cache shrinks.
 
 import pytest
 
-from repro.harness.runner import run_one
 from repro.sim.config import MachineConfig
 
-from conftest import PRESET
+from conftest import run_spec
 
 SIZES = (8192, 512, 16)
 
@@ -21,8 +20,7 @@ def test_directory_cache_size(benchmark):
         results = {}
         for entries in SIZES:
             cfg = MachineConfig(directory_cache_entries=entries)
-            results[entries] = run_one("radix", "lanuma", preset=PRESET,
-                                       config=cfg)
+            results[entries] = run_spec("radix", "lanuma", config=cfg)
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

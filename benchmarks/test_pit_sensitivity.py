@@ -10,11 +10,10 @@ from dataclasses import replace
 
 import pytest
 
-from repro.harness.runner import run_one
 from repro.sim.config import MachineConfig
 from repro.sim.latency import LatencyModel
 
-from conftest import PRESET
+from conftest import run_spec
 
 APPS = ("lu", "radix", "water-spa")
 
@@ -22,11 +21,10 @@ APPS = ("lu", "radix", "water-spa")
 @pytest.mark.parametrize("app", APPS)
 def test_pit_dram_slowdown(benchmark, app):
     def run_pair():
-        sram = run_one(app, "lanuma", preset=PRESET,
-                       config=MachineConfig())
-        dram = run_one(app, "lanuma", preset=PRESET,
-                       config=replace(MachineConfig(),
-                                      latency=LatencyModel(pit_access=10)))
+        sram = run_spec(app, "lanuma", config=MachineConfig())
+        dram = run_spec(app, "lanuma",
+                        config=replace(MachineConfig(),
+                                       latency=LatencyModel(pit_access=10)))
         return sram, dram
 
     sram, dram = benchmark.pedantic(run_pair, rounds=1, iterations=1)

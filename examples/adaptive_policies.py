@@ -14,7 +14,9 @@ Usage::
 import sys
 
 from repro import APPLICATIONS
-from repro.harness.runner import PAPER_POLICIES, run_suite
+from repro.harness.report import CampaignProgress
+from repro.harness.runner import PAPER_POLICIES
+from repro.harness.session import Session
 
 
 def main() -> int:
@@ -27,7 +29,8 @@ def main() -> int:
 
     print("Running %s (%s preset) under %d policies..."
           % (workload, preset, len(PAPER_POLICIES)))
-    suite = run_suite(workload, preset=preset, verbose=True)
+    session = Session(progress=CampaignProgress())
+    suite = session.run_workload_suite(workload, preset=preset)
 
     print("\n%-10s %12s %14s %10s" % ("policy", "normalized",
                                       "remote misses", "page-outs"))

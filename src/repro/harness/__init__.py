@@ -18,9 +18,11 @@ from repro.harness.compare import (CampaignDiff, Delta,
 from repro.harness.export import (campaign_to_dict, figure7_csv,
                                   load_campaign, result_to_dict, runs_csv,
                                   save_campaign, suite_to_dict)
+from repro.harness.report import CampaignProgress
 from repro.harness.runner import (PAPER_POLICIES, SuiteResult,
                                   derive_page_cache_caps, run_all_suites,
                                   run_one, run_suite)
+from repro.harness.session import ExperimentSpec, ResultCache, Session
 from repro.harness.sweep import (SweepResult, cache_fraction_sweep,
                                  render_sweep)
 from repro.harness.tables import (pit_sensitivity, table1, table2, table3,
@@ -30,24 +32,36 @@ from repro.workloads import APPLICATIONS
 
 def run_paper_evaluation(apps=APPLICATIONS, preset: str = "default",
                          config=None, include_pit: bool = True,
-                         verbose: bool = False) -> str:
-    """Run the full evaluation campaign and render every table/figure."""
+                         verbose: bool = False, jobs: int = 1,
+                         cache_dir: "str | None" = None) -> str:
+    """Run the full evaluation campaign and render every table/figure.
+
+    ``jobs`` widens the worker pool (independent campaign cells run in
+    parallel; the output is byte-identical at any width) and
+    ``cache_dir`` enables the on-disk result cache so a re-run only
+    recomputes cells whose (spec, config) inputs changed.
+    """
+    session = Session(jobs=jobs, cache_dir=cache_dir,
+                      progress=CampaignProgress() if verbose else None)
     sections = [str(table1(config)), "", str(table2()), ""]
-    suites = run_all_suites(apps, preset=preset, config=config,
-                            verbose=verbose)
+    suites = session.run_campaign(apps, preset=preset, config=config)
     sections += [figure7_ascii(suites), "",
                  str(figure7_table(suites)), "",
                  str(table3(suites)), "",
                  str(table4(suites)), "",
                  str(table5(suites)), ""]
     if include_pit:
-        sections += [str(pit_sensitivity(apps, preset=preset, config=config)),
+        sections += [str(pit_sensitivity(apps, preset=preset, config=config,
+                                         session=session)),
                      ""]
+    if session.progress is not None:
+        print(session.progress.summary(), flush=True)
     return "\n".join(sections)
 
 
 __all__ = [
-    "APPLICATIONS", "CampaignDiff", "Delta", "PAPER_POLICIES",
+    "APPLICATIONS", "CampaignDiff", "CampaignProgress", "Delta",
+    "ExperimentSpec", "PAPER_POLICIES", "ResultCache", "Session",
     "SuiteResult", "SweepResult", "compare_campaigns",
     "cache_fraction_sweep", "campaign_to_dict", "derive_page_cache_caps",
     "figure7_ascii", "figure7_csv", "figure7_series", "figure7_table",

@@ -20,6 +20,29 @@ from repro.sim.config import MachineConfig
 from repro.workloads import APPLICATIONS, PRESET_NAMES
 
 
+#: Default on-disk result cache used by ``run``/``suite``/``evaluate``.
+DEFAULT_CACHE_DIR = ".prism-cache"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1, got %s" % text)
+    return value
+
+
+def _add_session_args(sub) -> None:
+    """Scheduling/caching flags shared by run, suite and evaluate."""
+    sub.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="worker processes for independent campaign "
+                          "cells (default: 1, run in-process)")
+    sub.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                     help="on-disk result cache directory (default: %s)"
+                          % DEFAULT_CACHE_DIR)
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -35,11 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="client page-cache frames per node")
     run.add_argument("--migration", action="store_true",
                      help="enable lazy home migration")
+    _add_session_args(run)
 
     suite = sub.add_parser("suite",
                            help="run all six policies (Figure 7 slice)")
     suite.add_argument("workload", choices=APPLICATIONS)
     suite.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    _add_session_args(suite)
 
     evaluate = sub.add_parser("evaluate",
                               help="regenerate every table and figure")
@@ -50,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the section 4.3 PIT study")
     evaluate.add_argument("--save", metavar="JSON",
                           help="also persist the campaign results to a file")
+    _add_session_args(evaluate)
 
     sub.add_parser("microbench", help="regenerate Table 1")
 
@@ -69,14 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _session_from_args(args, verbose: bool = True):
+    """Build the :class:`Session` the run/suite/evaluate commands use."""
+    from repro.harness.report import CampaignProgress
+    from repro.harness.session import Session
+    cache_dir = None if args.no_cache else args.cache_dir
+    progress = CampaignProgress() if verbose else None
+    return Session(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+
+
 def cmd_run(args) -> int:
     """``repro run``: one workload under one policy."""
-    from repro.harness.runner import run_one
+    from repro.harness.session import ExperimentSpec
     config = MachineConfig(page_cache_frames=args.page_cache,
                            enable_migration=args.migration)
-    result = run_one(args.workload, args.policy, preset=args.preset,
-                     config=config)
-    print("%s / %s (%s preset)" % (args.workload, args.policy, args.preset))
+    session = _session_from_args(args, verbose=False)
+    result = session.run(ExperimentSpec(args.workload, args.policy,
+                                        preset=args.preset, config=config))
+    print("%s / %s (%s preset)%s"
+          % (args.workload, args.policy, args.preset,
+             " [cached]" if session.cache_hits else ""))
     for key, value in result.stats.summary().items():
         print("  %-22s %s" % (key, value))
     return 0
@@ -85,8 +123,8 @@ def cmd_run(args) -> int:
 def cmd_suite(args) -> int:
     """``repro suite``: a Figure 7 slice."""
     from repro.harness.figures import figure7_ascii
-    from repro.harness.runner import run_suite
-    suite = run_suite(args.workload, preset=args.preset, verbose=True)
+    session = _session_from_args(args)
+    suite = session.run_workload_suite(args.workload, preset=args.preset)
     print()
     print(figure7_ascii({args.workload: suite}))
     print("\n%-10s %12s %14s %10s" % ("policy", "normalized",
@@ -95,24 +133,27 @@ def cmd_suite(args) -> int:
         print("%-10s %12.3f %14d %10d"
               % (policy, suite.normalized_time(policy),
                  suite.remote_misses(policy), suite.page_outs(policy)))
+    print("\n" + session.progress.summary())
     return 0
 
 
 def cmd_evaluate(args) -> int:
     """``repro evaluate``: the full campaign (optionally saved)."""
+    cache_dir = None if args.no_cache else args.cache_dir
     if args.save:
         from repro.harness.export import save_campaign
-        from repro.harness.runner import run_all_suites
-        suites = run_all_suites(tuple(args.apps), preset=args.preset,
-                                verbose=True)
+        session = _session_from_args(args)
+        suites = session.run_campaign(tuple(args.apps), preset=args.preset)
         save_campaign(suites, args.save)
         from repro.harness.figures import figure7_table
         print(figure7_table(suites).render())
+        print(session.progress.summary())
         print("saved campaign to %s" % args.save)
         return 0
     from repro.harness import run_paper_evaluation
     print(run_paper_evaluation(apps=tuple(args.apps), preset=args.preset,
-                               include_pit=not args.skip_pit, verbose=True))
+                               include_pit=not args.skip_pit, verbose=True,
+                               jobs=args.jobs, cache_dir=cache_dir))
     return 0
 
 

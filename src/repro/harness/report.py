@@ -1,6 +1,62 @@
-"""Plain-text table rendering for the experiment harness."""
+"""Plain-text table rendering and live progress for the experiment
+harness."""
 
 from __future__ import annotations
+
+import sys
+import time
+
+
+class CampaignProgress:
+    """Live per-cell progress lines for a campaign run.
+
+    A campaign is a set of (workload, policy) *cells*.  The parallel
+    session calls :meth:`expect` when it schedules a batch of cells and
+    :meth:`cell_done` as each one completes (possibly out of order);
+    each completion prints one line.  :meth:`summary` renders the
+    wall-clock totals — simulated vs cache-hit cells — for the whole
+    campaign.
+    """
+
+    def __init__(self, stream=None, enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.enabled = enabled
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.started = time.perf_counter()
+
+    def expect(self, cells: int) -> None:
+        """Announce ``cells`` more cells to run (totals accumulate)."""
+        self.total += cells
+
+    def cell_done(self, workload: str, policy: str, seconds: float,
+                  cached: bool = False) -> None:
+        """Record (and print) one completed campaign cell."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        if not self.enabled:
+            return
+        note = "cached" if cached else "%.2fs" % seconds
+        width = len(str(self.total)) if self.total else 1
+        self.stream.write("  [%*d/%s] %-10s %-9s %s\n"
+                          % (width, self.done,
+                             self.total if self.total else "?",
+                             workload, policy, note))
+        self.stream.flush()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since this tracker was created."""
+        return time.perf_counter() - self.started
+
+    def summary(self) -> str:
+        """One-line wall-clock summary of the whole campaign."""
+        return ("campaign: %d cells in %.1fs wall-clock"
+                " (%d simulated, %d cache hits)"
+                % (self.done, self.elapsed, self.done - self.cached,
+                   self.cached))
 
 
 class TextTable:

@@ -1,0 +1,401 @@
+"""Parallel campaign engine: ``ExperimentSpec`` + ``Session``.
+
+The paper's evaluation is a *campaign*: a grid of (workload, policy)
+cells, each an independent :class:`~repro.sim.machine.Machine` run.  The
+only true dependency is that a workload's SCOMA run must finish before
+its capped policies (SCOMA-70, Dyn-*) can derive the per-node page-cache
+caps (section 4.2).  The campaign is therefore a two-stage DAG:
+
+* **stage 1** — every SCOMA run, plus every policy that needs no cap
+  (LANUMA, CC-NUMA), fans out across a ``multiprocessing`` worker pool;
+* **stage 2** — as each workload's SCOMA result lands, its capped
+  policies are scheduled immediately (no global barrier between stages).
+
+Cells are described by a frozen :class:`ExperimentSpec` and executed by
+a :class:`Session`, which also maintains a content-addressed on-disk
+result cache keyed by a stable hash of ``(spec, MachineConfig)``:
+re-running ``evaluate`` after a config tweak only recomputes the cells
+whose inputs changed.  The scheduler is deterministic in its *outputs* —
+``--jobs 4`` produces byte-identical statistics to ``--jobs 1``; only
+the wall clock changes.
+
+Quick use::
+
+    from repro.harness.session import ExperimentSpec, Session
+
+    session = Session(jobs=4, cache_dir=".prism-cache")
+    result = session.run(ExperimentSpec("fft", "scoma", preset="small"))
+    suites = session.run_campaign(("fft", "lu"), preset="small")
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine, RunResult
+from repro.sim.stats import MachineStats
+from repro.workloads import make_workload
+
+#: Bump when the cached stats schema or simulator semantics change in a
+#: way that invalidates previously cached results.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One campaign cell: a workload under a policy on a machine.
+
+    Immutable and hashable by content; the canonical description of a
+    run for the scheduler, the worker handoff and the result cache.
+    ``config=None`` means the default :class:`MachineConfig` (resolved
+    explicitly, so a spec with ``config=None`` and one with
+    ``config=MachineConfig()`` are the same cache entry).  ``seed`` is
+    folded into the cache key for forward compatibility; the bundled
+    SPLASH kernels are deterministic and ignore it.
+    """
+
+    workload: str
+    policy: str
+    preset: str = "default"
+    config: "MachineConfig | None" = None
+    page_cache_override: "tuple[int, ...] | None" = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.page_cache_override is not None
+                and not isinstance(self.page_cache_override, tuple)):
+            object.__setattr__(self, "page_cache_override",
+                               tuple(self.page_cache_override))
+
+    def __hash__(self) -> int:
+        # MachineConfig is a mutable dataclass and therefore unhashable;
+        # hash the canonical content key instead (equal specs have equal
+        # payloads, so the eq/hash contract holds).
+        return hash(self.cache_key())
+
+    def resolved_config(self) -> MachineConfig:
+        """The machine configuration this spec runs on (never None)."""
+        return self.config if self.config is not None else MachineConfig()
+
+    def with_override(self, caps: "list[int] | tuple[int, ...]") -> "ExperimentSpec":
+        """Copy of this spec with a per-node page-cache cap list."""
+        return ExperimentSpec(workload=self.workload, policy=self.policy,
+                              preset=self.preset, config=self.config,
+                              page_cache_override=tuple(caps),
+                              seed=self.seed)
+
+    def to_payload(self) -> "dict[str, object]":
+        """JSON-safe dict describing this spec, config fully resolved.
+
+        This is both the worker-handoff format and the cache-key
+        content; invert with :meth:`from_payload`.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "preset": self.preset,
+            "seed": self.seed,
+            "page_cache_override":
+                (list(self.page_cache_override)
+                 if self.page_cache_override is not None else None),
+            "config": self.resolved_config().to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: "dict[str, object]") -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_payload` output."""
+        override = payload["page_cache_override"]
+        return cls(workload=payload["workload"], policy=payload["policy"],
+                   preset=payload["preset"], seed=payload["seed"],
+                   page_cache_override=(tuple(override)
+                                        if override is not None else None),
+                   config=MachineConfig.from_dict(payload["config"]))
+
+    def cache_key(self) -> str:
+        """Stable content hash of (spec, resolved MachineConfig)."""
+        canonical = json.dumps({"schema": CACHE_SCHEMA, **self.to_payload()},
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress lines."""
+        return "%s/%s" % (self.workload, self.policy)
+
+
+def execute_spec(spec: ExperimentSpec) -> RunResult:
+    """Run one spec in-process (no cache, no pool)."""
+    override = (list(spec.page_cache_override)
+                if spec.page_cache_override is not None else None)
+    machine = Machine(spec.resolved_config(), policy=spec.policy,
+                      page_cache_override=override)
+    return machine.run(make_workload(spec.workload, spec.preset))
+
+
+def _worker_run(payload: "dict[str, object]") -> "dict[str, object]":
+    """Pool worker: simulate one cell, return JSON-safe stats.
+
+    Takes and returns plain dicts so the worker handoff goes through
+    the exact same serialization as the result cache — a parallel run
+    cannot diverge from a sequential one by construction.
+    """
+    started = time.perf_counter()
+    result = execute_spec(ExperimentSpec.from_payload(payload))
+    return {"stats": result.stats.to_dict(),
+            "seconds": time.perf_counter() - started}
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of finished runs.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is
+    :meth:`ExperimentSpec.cache_key`; each file holds the spec payload
+    (for inspection) and the full :class:`MachineStats` dict.  Writes
+    are atomic (temp file + rename) so concurrent sessions sharing a
+    cache directory never observe torn entries.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def load(self, spec: ExperimentSpec) -> "MachineStats | None":
+        """The cached stats for ``spec``, or None on a miss."""
+        try:
+            with open(self._path(spec.cache_key())) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return MachineStats.from_dict(entry["stats"])
+
+    def store(self, spec: ExperimentSpec, stats: MachineStats) -> None:
+        """Persist one finished cell (atomic, last writer wins)."""
+        path = self._path(spec.cache_key())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "spec": spec.to_payload(),
+                 "stats": stats.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+
+class _Scheduler:
+    """Dispatches specs to a worker pool (or runs them inline).
+
+    ``submit`` enqueues a cell; ``drain`` yields completion events in
+    completion order and keeps going until everything submitted —
+    including cells submitted *from inside* the drain loop, which is how
+    stage-2 work chains off stage-1 results — has finished.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+        self._events: "queue.Queue" = queue.Queue()
+        self._outstanding = 0
+        self._pool = (multiprocessing.Pool(session.jobs)
+                      if session.jobs > 1 else None)
+
+    def submit(self, tag, spec: ExperimentSpec) -> None:
+        """Schedule one cell; its completion event carries ``tag``."""
+        self._outstanding += 1
+        cache = self._session.cache
+        stats = cache.load(spec) if cache is not None else None
+        if stats is not None:
+            self._events.put((tag, spec, stats, True, 0.0, None))
+        elif self._pool is None:
+            try:
+                out = _worker_run(spec.to_payload())
+            except Exception as exc:                # noqa: BLE001
+                self._events.put((tag, spec, None, False, 0.0, exc))
+            else:
+                self._events.put((tag, spec,
+                                  MachineStats.from_dict(out["stats"]),
+                                  False, out["seconds"], None))
+        else:
+            def _done(out, tag=tag, spec=spec):
+                self._events.put((tag, spec,
+                                  MachineStats.from_dict(out["stats"]),
+                                  False, out["seconds"], None))
+
+            def _fail(exc, tag=tag, spec=spec):
+                self._events.put((tag, spec, None, False, 0.0, exc))
+
+            self._pool.apply_async(_worker_run, (spec.to_payload(),),
+                                   callback=_done, error_callback=_fail)
+
+    def drain(self):
+        """Yield ``(tag, spec, stats, cached, seconds)`` events."""
+        try:
+            while self._outstanding:
+                tag, spec, stats, cached, seconds, exc = self._events.get()
+                self._outstanding -= 1
+                if exc is not None:
+                    raise exc
+                if not cached and self._session.cache is not None:
+                    self._session.cache.store(spec, stats)
+                yield tag, spec, stats, cached, seconds
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+class Session:
+    """Executes :class:`ExperimentSpec` cells, possibly in parallel.
+
+    ``jobs`` is the worker-pool width (1 = run everything in-process,
+    no pool); ``cache_dir`` enables the on-disk :class:`ResultCache`;
+    ``progress`` takes a
+    :class:`~repro.harness.report.CampaignProgress` for live per-cell
+    lines.  Results are deterministic: the same specs produce the same
+    statistics at any ``jobs`` width, with or without a warm cache.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: "str | None" = None,
+                 progress=None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress
+
+    # -- cache counters --------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the result cache so far."""
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Cache lookups that had to simulate."""
+        return self.cache.misses if self.cache is not None else 0
+
+    # -- entry points ----------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Run one cell (through the cache if one is configured)."""
+        return self.run_suite([spec])[0]
+
+    def run_suite(self, specs) -> "list[RunResult]":
+        """Run independent, fully-specified cells; results match the
+        input order.
+
+        Cells here must not need derived inputs — a capped policy spec
+        must carry an explicit ``page_cache_override``.  Use
+        :meth:`run_workload_suite` / :meth:`run_campaign` for the
+        SCOMA-first dependency handling.
+        """
+        specs = list(specs)
+        if self.progress is not None:
+            self.progress.expect(len(specs))
+        scheduler = _Scheduler(self)
+        for index, spec in enumerate(specs):
+            scheduler.submit(index, spec)
+        results: "list[RunResult | None]" = [None] * len(specs)
+        for index, spec, stats, cached, seconds in scheduler.drain():
+            results[index] = RunResult(workload=spec.workload,
+                                       policy=spec.policy,
+                                       config=spec.resolved_config(),
+                                       stats=stats)
+            if self.progress is not None:
+                self.progress.cell_done(spec.workload, spec.policy,
+                                        seconds, cached)
+        return results
+
+    def run_workload_suite(self, workload: str, policies=None,
+                           preset: str = "default",
+                           config: "MachineConfig | None" = None,
+                           cache_fraction: float = 0.7):
+        """One workload under a policy set (SCOMA first, then fan-out)."""
+        suites = self.run_campaign((workload,), policies=policies,
+                                   preset=preset, config=config,
+                                   cache_fraction=cache_fraction)
+        return suites[workload]
+
+    def run_campaign(self, apps, policies=None, preset: str = "default",
+                     config: "MachineConfig | None" = None,
+                     cache_fraction: float = 0.7):
+        """Every application's policy suite as a two-stage DAG.
+
+        Stage 1 fans out each workload's SCOMA run plus every policy
+        that needs no page-cache cap; as each SCOMA result completes,
+        that workload's capped policies (stage 2) are scheduled
+        immediately.  Returns ``{app: SuiteResult}`` with the policies
+        of every suite in canonical (SCOMA-first) order regardless of
+        completion order.
+        """
+        from repro.harness.runner import (CAPPED_POLICIES, PAPER_POLICIES,
+                                          SuiteResult,
+                                          derive_page_cache_caps)
+        if policies is None:
+            policies = PAPER_POLICIES
+        apps = tuple(apps)
+        ordered = ["scoma"] + [p for p in policies if p != "scoma"]
+        capped = [p for p in ordered if p in CAPPED_POLICIES]
+        suites = {app: SuiteResult(workload=app, preset=preset)
+                  for app in apps}
+        if self.progress is not None:
+            self.progress.expect(len(apps) * len(ordered))
+
+        scheduler = _Scheduler(self)
+        for app in apps:
+            for policy in ordered:
+                if policy not in CAPPED_POLICIES:
+                    scheduler.submit(app, ExperimentSpec(
+                        workload=app, policy=policy, preset=preset,
+                        config=config))
+
+        for app, spec, stats, cached, seconds in scheduler.drain():
+            result = RunResult(workload=spec.workload, policy=spec.policy,
+                               config=spec.resolved_config(), stats=stats)
+            suites[app].results[spec.policy] = result
+            if self.progress is not None:
+                self.progress.cell_done(spec.workload, spec.policy,
+                                        seconds, cached)
+            if spec.policy == "scoma":
+                caps = derive_page_cache_caps(result, cache_fraction)
+                suites[app].page_cache_caps = caps
+                for policy in capped:
+                    scheduler.submit(app, ExperimentSpec(
+                        workload=app, policy=policy, preset=preset,
+                        config=config, page_cache_override=tuple(caps)))
+
+        # Completion order is nondeterministic under a pool; re-impose
+        # the canonical policy order so rendered output is byte-stable.
+        for suite in suites.values():
+            suite.results = {p: suite.results[p] for p in ordered
+                             if p in suite.results}
+        return suites

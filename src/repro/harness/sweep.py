@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.harness.runner import derive_page_cache_caps, run_one
-from repro.sim.machine import Machine
-from repro.workloads import make_workload
+from repro.harness.runner import derive_page_cache_caps
+from repro.harness.session import ExperimentSpec, Session
 
 
 @dataclass
@@ -61,19 +60,27 @@ class SweepResult:
 def cache_fraction_sweep(workload: str,
                          fractions=(0.1, 0.25, 0.5, 0.7, 0.9),
                          preset: str = "small",
-                         config=None) -> SweepResult:
+                         config=None,
+                         session: "Session | None" = None) -> SweepResult:
     """Sweep the page-cache cap as a fraction of the SCOMA run's client
-    frames (0.7 is the paper's SCOMA-70)."""
-    scoma = run_one(workload, "scoma", preset=preset, config=config)
-    lanuma = run_one(workload, "lanuma", preset=preset, config=config)
+    frames (0.7 is the paper's SCOMA-70).
+
+    Pass a :class:`~repro.harness.session.Session` to run the sweep
+    points in parallel and/or through the result cache.
+    """
+    session = session if session is not None else Session()
+    scoma, lanuma = session.run_suite([
+        ExperimentSpec(workload, "scoma", preset=preset, config=config),
+        ExperimentSpec(workload, "lanuma", preset=preset, config=config)])
     sweep = SweepResult(workload=workload, preset=preset,
                         lanuma_cycles=lanuma.stats.execution_cycles,
                         scoma_cycles=scoma.stats.execution_cycles)
-    for fraction in fractions:
-        caps = derive_page_cache_caps(scoma, fraction=fraction)
-        machine = Machine(config, policy="scoma-70",
-                          page_cache_override=caps)
-        result = machine.run(make_workload(workload, preset))
+    specs = [ExperimentSpec(
+        workload, "scoma-70", preset=preset, config=config,
+        page_cache_override=tuple(
+            derive_page_cache_caps(scoma, fraction=fraction)))
+        for fraction in fractions]
+    for fraction, result in zip(fractions, session.run_suite(specs)):
         sweep.points[fraction] = (result.stats.execution_cycles,
                                   result.stats.client_page_outs)
     return sweep

@@ -120,23 +120,33 @@ def table5(suites) -> TextTable:
     return table
 
 
-def pit_sensitivity(apps, preset: str = "default", config=None) -> TextTable:
-    """Section 4.3: SRAM (2-cycle) vs DRAM (10-cycle) PIT."""
+def pit_sensitivity(apps, preset: str = "default", config=None,
+                    session=None) -> TextTable:
+    """Section 4.3: SRAM (2-cycle) vs DRAM (10-cycle) PIT.
+
+    All (app, PIT) cells are independent; pass a
+    :class:`~repro.harness.session.Session` to fan them out across its
+    worker pool and result cache.
+    """
     from dataclasses import replace
 
-    from repro.harness.runner import run_one
+    from repro.harness.session import ExperimentSpec, Session
     from repro.sim.config import MachineConfig
     from repro.sim.latency import LatencyModel
 
+    session = session if session is not None else Session()
     base_cfg = config if config is not None else MachineConfig()
     dram_cfg = replace(base_cfg, latency=LatencyModel(pit_access=10))
     table = TextTable(
         "Section 4.3: impact of PIT access time (LANUMA clients)",
         ["Application", "SRAM PIT cycles", "DRAM PIT cycles",
          "Slowdown", "Paper slowdown"])
-    for app in apps:
-        sram = run_one(app, "lanuma", preset=preset, config=base_cfg)
-        dram = run_one(app, "lanuma", preset=preset, config=dram_cfg)
+    apps = tuple(apps)
+    specs = [ExperimentSpec(app, "lanuma", preset=preset, config=cfg)
+             for app in apps for cfg in (base_cfg, dram_cfg)]
+    results = session.run_suite(specs)
+    for i, app in enumerate(apps):
+        sram, dram = results[2 * i], results[2 * i + 1]
         slow = (dram.stats.execution_cycles / sram.stats.execution_cycles) - 1
         table.add_row(app, sram.stats.execution_cycles,
                       dram.stats.execution_cycles,

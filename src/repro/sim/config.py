@@ -11,7 +11,9 @@ DESIGN.md section 2).  Every parameter is overridable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.sim.latency import LatencyModel, paper_latency_model
 
@@ -39,6 +41,15 @@ class CacheConfig:
     def num_sets(self) -> int:
         """Number of associativity sets."""
         return self.num_lines // self.associativity
+
+    def to_dict(self) -> "dict[str, int]":
+        """The geometry as a plain dict (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, int]") -> "CacheConfig":
+        """Rebuild a geometry from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 @dataclass
@@ -122,6 +133,38 @@ class MachineConfig:
     def with_policy_limits(self, page_cache_frames: "int | None") -> "MachineConfig":
         """Copy of this config with a different page-cache capacity."""
         return replace(self, page_cache_frames=page_cache_frames)
+
+    def to_dict(self) -> "dict[str, object]":
+        """The full configuration as nested plain dicts (JSON-safe).
+
+        Every field — including the nested :class:`CacheConfig` levels
+        and the :class:`~repro.sim.latency.LatencyModel` — flattens to
+        ints/bools/None, so the result round-trips through JSON exactly.
+        Used for the experiment-cache key, worker handoff and
+        persistence; invert with :meth:`from_dict`.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "MachineConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        data = dict(data)
+        data["l1"] = CacheConfig.from_dict(data["l1"])
+        data["l2"] = CacheConfig.from_dict(data["l2"])
+        data["latency"] = LatencyModel.from_dict(data["latency"])
+        return cls(**data)
+
+    def config_hash(self) -> str:
+        """A stable content hash of this configuration.
+
+        Two configs hash equal iff every field (including nested cache
+        geometry and latency components) is equal; the hash is stable
+        across processes and Python versions, making it usable as an
+        on-disk cache-key component.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def default_config(**overrides) -> MachineConfig:

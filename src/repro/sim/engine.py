@@ -48,8 +48,19 @@ class Resource:
         return self.next_free - now if self.next_free > now else 0
 
     def utilization(self, total_cycles: int) -> float:
-        """Busy fraction of the resource over ``total_cycles``."""
-        if total_cycles <= 0:
+        """Busy fraction of the resource over ``total_cycles``.
+
+        A zero-cycle window has no meaningful busy fraction and reports
+        0.0; fractions above 1.0 (overlapping charges) clamp to 1.0.  A
+        *negative* window is always a caller bug (an end time before a
+        start time), so it raises :class:`ValueError` instead of being
+        silently reported as an idle resource.
+        """
+        if total_cycles < 0:
+            raise ValueError(
+                "utilization window must be non-negative, got %d cycles"
+                % total_cycles)
+        if total_cycles == 0:
             return 0.0
         return min(1.0, self.busy_cycles / total_cycles)
 

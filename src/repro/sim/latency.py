@@ -30,7 +30,7 @@ In-core page fault, remote home                  4400
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass
@@ -79,6 +79,15 @@ class LatencyModel:
     pageout_per_line: int = 24    # per owned line: tag sweep + write-back issue
     barrier_cost: int = 40        # barrier release overhead per processor
     lock_cost: int = 30           # uncontended lock acquire/release overhead
+
+    def to_dict(self) -> "dict[str, int]":
+        """All component latencies as a plain dict (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, int]") -> "LatencyModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls(**data)
 
     # ------------------------------------------------------------------
     # Composite (Table 1) latencies derived from the components.

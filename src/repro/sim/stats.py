@@ -13,7 +13,7 @@ extension experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -117,6 +117,37 @@ class MachineStats:
     def references(self) -> int:
         """Machine-wide memory references executed."""
         return sum(c.references for c in self.cpus)
+
+    def to_dict(self) -> "dict[str, object]":
+        """Every counter as nested plain dicts.
+
+        All fields are ints/floats, so the result survives JSON (and
+        pickle) byte-exactly; this is the wire format parallel campaign
+        workers return and the result cache stores.  Invert with
+        :meth:`from_dict`.
+        """
+        return {
+            "nodes": [asdict(n) for n in self.nodes],
+            "cpus": [asdict(c) for c in self.cpus],
+            "execution_cycles": self.execution_cycles,
+            "frames_allocated_total": self.frames_allocated_total,
+            "touched_line_fraction_sum": self.touched_line_fraction_sum,
+            "directory_cache_hits": self.directory_cache_hits,
+            "directory_cache_misses": self.directory_cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "MachineStats":
+        """Rebuild machine statistics from :meth:`to_dict` output."""
+        return cls(
+            nodes=[NodeStats(**n) for n in data["nodes"]],
+            cpus=[CpuStats(**c) for c in data["cpus"]],
+            execution_cycles=data["execution_cycles"],
+            frames_allocated_total=data["frames_allocated_total"],
+            touched_line_fraction_sum=data["touched_line_fraction_sum"],
+            directory_cache_hits=data["directory_cache_hits"],
+            directory_cache_misses=data["directory_cache_misses"],
+        )
 
     def summary(self) -> "dict[str, float]":
         """A flat dict of headline numbers, for reports and tests."""

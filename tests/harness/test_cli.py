@@ -15,15 +15,30 @@ def test_list_command(capsys):
 
 def test_run_command(capsys):
     assert main(["run", "water-nsq", "--preset", "tiny",
-                 "--policy", "dyn-fcfs", "--page-cache", "6"]) == 0
+                 "--policy", "dyn-fcfs", "--page-cache", "6",
+                 "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "water-nsq / dyn-fcfs" in out
     assert "execution_cycles" in out
 
 
 def test_run_with_migration(capsys):
-    assert main(["run", "mp3d", "--preset", "tiny", "--migration"]) == 0
+    assert main(["run", "mp3d", "--preset", "tiny", "--migration",
+                 "--no-cache"]) == 0
     assert "remote_misses" in capsys.readouterr().out
+
+
+def test_run_caches_result(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["run", "fft", "--preset", "tiny", "--cache-dir", cache]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "[cached]" not in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "[cached]" in warm
+    # The cached stats are identical to the simulated ones.
+    assert warm.replace(" [cached]", "") == cold
 
 
 def test_microbench_command(capsys):
@@ -33,10 +48,12 @@ def test_microbench_command(capsys):
 
 
 def test_suite_command(capsys):
-    assert main(["suite", "water-spa", "--preset", "tiny"]) == 0
+    assert main(["suite", "water-spa", "--preset", "tiny",
+                 "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "scoma-70" in out
     assert "normalized" in out
+    assert "campaign:" in out          # wall-clock summary line
 
 
 def test_rejects_unknown_workload():
@@ -59,7 +76,7 @@ def test_analyze_command(capsys):
 def test_evaluate_save_command(tmp_path, capsys):
     path = tmp_path / "campaign.json"
     assert main(["evaluate", "--preset", "tiny", "--apps", "water-spa",
-                 "--save", str(path)]) == 0
+                 "--no-cache", "--save", str(path)]) == 0
     out = capsys.readouterr().out
     assert "saved campaign" in out
     import json

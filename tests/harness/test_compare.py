@@ -59,9 +59,10 @@ def test_table_renders_worst_first():
 def test_round_trip_with_real_suite():
     import repro
     from repro.harness.export import campaign_to_dict
-    from repro.harness.runner import run_suite
-    suite = run_suite("water-spa", policies=("scoma", "lanuma"),
-                      preset="tiny", config=repro.tiny_config())
+    from repro.harness.session import Session
+    suite = Session().run_workload_suite(
+        "water-spa", policies=("scoma", "lanuma"), preset="tiny",
+        config=repro.tiny_config())
     flat = campaign_to_dict({"water-spa": suite})
     diff = compare_campaigns(flat, flat)
     assert diff.regressions() == []

@@ -8,13 +8,14 @@ import repro
 from repro.harness.export import (campaign_to_dict, figure7_csv,
                                   load_campaign, result_to_dict, runs_csv,
                                   save_campaign, suite_to_dict)
-from repro.harness.runner import run_one, run_suite
+from repro.harness.session import ExperimentSpec, Session
 
 
 @pytest.fixture(scope="module")
 def suite():
-    return run_suite("water-spa", policies=("scoma", "lanuma"),
-                     preset="tiny", config=repro.tiny_config())
+    return Session().run_workload_suite(
+        "water-spa", policies=("scoma", "lanuma"), preset="tiny",
+        config=repro.tiny_config())
 
 
 def test_result_round_trips_through_json(suite):
@@ -51,8 +52,9 @@ def test_figure7_csv(suite):
 
 
 def test_runs_csv():
-    result = run_one("water-spa", "scoma", preset="tiny",
-                     config=repro.tiny_config())
+    result = Session().run(ExperimentSpec("water-spa", "scoma",
+                                          preset="tiny",
+                                          config=repro.tiny_config()))
     csv = runs_csv([result])
     assert csv.splitlines()[0].startswith("workload,policy,")
     assert "water-spa,scoma," in csv

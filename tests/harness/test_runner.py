@@ -5,7 +5,8 @@ import pytest
 import repro
 from repro.harness.figures import figure7_ascii, figure7_series, figure7_table
 from repro.harness.runner import (CAPPED_POLICIES, derive_page_cache_caps,
-                                  run_one, run_suite)
+                                  run_one)
+from repro.harness.session import Session
 from repro.harness.tables import table1, table2, table3, table4, table5
 
 
@@ -13,10 +14,12 @@ from repro.harness.tables import table1, table2, table3, table4, table5
 def suites():
     cfg = repro.tiny_config()
     apps = ("water-nsq", "fft")
-    return {app: run_suite(app, preset="tiny", config=cfg) for app in apps}
+    return Session().run_campaign(apps, preset="tiny", config=cfg)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_run_one_returns_result():
+    # The deprecated wrapper must keep producing real results.
     result = run_one("fft", "scoma", preset="tiny",
                      config=repro.tiny_config())
     assert result.workload == "fft"
@@ -51,8 +54,9 @@ def test_normalized_time_baseline_is_one(suites):
 def test_suite_always_runs_scoma_first_for_caps():
     # Even when the caller omits scoma, the suite runs it to derive the
     # page-cache caps that the capped policies need.
-    suite = run_suite("water-nsq", policies=("scoma-70",), preset="tiny",
-                      config=repro.tiny_config())
+    suite = Session().run_workload_suite(
+        "water-nsq", policies=("scoma-70",), preset="tiny",
+        config=repro.tiny_config())
     assert "scoma" in suite.results
     assert suite.page_cache_caps
 

@@ -1,0 +1,201 @@
+"""Tests for the parallel campaign engine (ExperimentSpec / Session)."""
+
+import warnings
+
+import pytest
+
+from repro.harness.report import CampaignProgress
+from repro.harness.runner import run_one, run_suite
+from repro.harness.session import (CACHE_SCHEMA, ExperimentSpec, Session,
+                                   execute_spec)
+from repro.sim.config import MachineConfig, tiny_config
+
+
+def spec(workload="fft", policy="scoma", **kwargs):
+    kwargs.setdefault("preset", "tiny")
+    kwargs.setdefault("config", tiny_config())
+    return ExperimentSpec(workload, policy, **kwargs)
+
+
+class TestExperimentSpec:
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            spec().policy = "lanuma"
+
+    def test_override_normalized_to_tuple(self):
+        s = spec(page_cache_override=[4, 5])
+        assert s.page_cache_override == (4, 5)
+        assert hash(s) == hash(spec(page_cache_override=(4, 5)))
+
+    def test_none_config_resolves_to_default(self):
+        s = ExperimentSpec("fft", "scoma")
+        assert s.resolved_config() == MachineConfig()
+        # ... and shares a cache entry with the explicit default.
+        explicit = ExperimentSpec("fft", "scoma", config=MachineConfig())
+        assert s.cache_key() == explicit.cache_key()
+
+    def test_cache_key_sensitive_to_inputs(self):
+        base = spec()
+        assert base.cache_key() == spec().cache_key()
+        assert base.cache_key() != spec(policy="lanuma").cache_key()
+        assert base.cache_key() != spec(seed=7).cache_key()
+        assert (base.cache_key()
+                != spec(config=tiny_config(tlb_entries=16)).cache_key())
+
+    def test_payload_round_trip(self):
+        s = spec(policy="scoma-70", page_cache_override=(3, 4))
+        back = ExperimentSpec.from_payload(s.to_payload())
+        assert back == ExperimentSpec(
+            "fft", "scoma-70", preset="tiny", config=tiny_config(),
+            page_cache_override=(3, 4))
+        assert back.cache_key() == s.cache_key()
+
+
+class TestSessionRun:
+    def test_run_matches_direct_machine(self):
+        s = spec()
+        via_session = Session().run(s)
+        direct = execute_spec(s)
+        assert via_session.stats.to_dict() == direct.stats.to_dict()
+        assert via_session.workload == "fft"
+        assert via_session.policy == "scoma"
+
+    def test_run_suite_preserves_input_order(self):
+        results = Session().run_suite(
+            [spec(policy="lanuma"), spec(policy="scoma")])
+        assert [r.policy for r in results] == ["lanuma", "scoma"]
+
+    def test_workload_suite_matches_deprecated_runner(self):
+        cfg = tiny_config()
+        new = Session().run_workload_suite("water-nsq", preset="tiny",
+                                           config=cfg)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_suite("water-nsq", preset="tiny", config=cfg)
+        assert list(new.results) == list(old.results)
+        assert new.page_cache_caps == old.page_cache_caps
+        for policy in new.results:
+            assert (new.results[policy].stats.to_dict()
+                    == old.results[policy].stats.to_dict())
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Session(jobs=0)
+
+
+class TestResultCache:
+    def test_warm_cache_skips_recomputation(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = Session(cache_dir=cache_dir)
+        suite = cold.run_workload_suite("fft", preset="tiny",
+                                        config=tiny_config())
+        cells = len(suite.results)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cells
+
+        warm = Session(cache_dir=cache_dir)
+        again = warm.run_workload_suite("fft", preset="tiny",
+                                        config=tiny_config())
+        assert warm.cache_hits == cells
+        assert warm.cache_misses == 0
+        for policy in suite.results:
+            assert (again.results[policy].stats.to_dict()
+                    == suite.results[policy].stats.to_dict())
+
+    def test_config_tweak_only_recomputes_changed_cells(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        Session(cache_dir=cache_dir).run(spec(policy="lanuma"))
+        s2 = Session(cache_dir=cache_dir)
+        s2.run(spec(policy="lanuma"))
+        assert (s2.cache_hits, s2.cache_misses) == (1, 0)
+        s2.run(spec(policy="lanuma", config=tiny_config(tlb_entries=16)))
+        assert (s2.cache_hits, s2.cache_misses) == (1, 1)
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        session = Session(cache_dir=cache_dir)
+        session.run(spec())
+        # Corrupt every entry's schema stamp; the next lookup re-runs.
+        import json
+        for path in (tmp_path / "cache").rglob("*.json"):
+            entry = json.loads(path.read_text())
+            entry["schema"] = CACHE_SCHEMA + 1
+            path.write_text(json.dumps(entry))
+        fresh = Session(cache_dir=cache_dir)
+        fresh.run(spec())
+        assert (fresh.cache_hits, fresh.cache_misses) == (0, 1)
+
+
+class TestDeprecatedWrappers:
+    def test_run_one_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="run_one"):
+            result = run_one("fft", "scoma", preset="tiny",
+                             config=tiny_config())
+        assert result.stats.execution_cycles > 0
+
+    def test_run_suite_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="run_suite"):
+            suite = run_suite("fft", policies=("scoma", "lanuma"),
+                              preset="tiny", config=tiny_config())
+        assert set(suite.results) == {"scoma", "lanuma"}
+
+    def test_run_all_suites_warns(self):
+        from repro.harness.runner import run_all_suites
+        with pytest.warns(DeprecationWarning, match="run_all_suites"):
+            suites = run_all_suites(("fft",), policies=("scoma",),
+                                    preset="tiny", config=tiny_config())
+        assert "fft" in suites
+
+
+class TestProgress:
+    def test_progress_lines_and_summary(self, capsys):
+        session = Session(progress=CampaignProgress())
+        session.run_workload_suite("fft", policies=("scoma", "lanuma"),
+                                   preset="tiny", config=tiny_config())
+        out = capsys.readouterr().out
+        assert "fft" in out and "lanuma" in out
+        assert session.progress.done == 2
+        assert "2 cells" in session.progress.summary()
+
+    def test_disabled_progress_prints_nothing(self, capsys):
+        session = Session(progress=CampaignProgress(enabled=False))
+        session.run(spec())
+        assert capsys.readouterr().out == ""
+        assert session.progress.done == 1
+
+
+@pytest.mark.parallel
+class TestParallelScheduler:
+    """The multiprocessing path must be output-identical to jobs=1."""
+
+    def test_jobs4_suite_identical_to_jobs1(self):
+        cfg = tiny_config()
+        seq = Session(jobs=1).run_workload_suite("fft", preset="tiny",
+                                                 config=cfg)
+        par = Session(jobs=4).run_workload_suite("fft", preset="tiny",
+                                                 config=cfg)
+        assert list(par.results) == list(seq.results)
+        assert par.page_cache_caps == seq.page_cache_caps
+        for policy in seq.results:
+            assert par.normalized_time(policy) == seq.normalized_time(policy)
+            assert (par.results[policy].stats.to_dict()
+                    == seq.results[policy].stats.to_dict())
+
+    def test_jobs2_campaign_two_stage_dag(self):
+        cfg = tiny_config()
+        apps = ("fft", "water-nsq")
+        seq = Session(jobs=1).run_campaign(apps, preset="tiny", config=cfg)
+        par = Session(jobs=2).run_campaign(apps, preset="tiny", config=cfg)
+        for app in apps:
+            assert par[app].page_cache_caps == seq[app].page_cache_caps
+            assert list(par[app].results) == list(seq[app].results)
+            for policy in seq[app].results:
+                assert (par[app].results[policy].stats.to_dict()
+                        == seq[app].results[policy].stats.to_dict())
+
+    def test_parallel_worker_error_propagates(self):
+        with pytest.raises(ValueError):
+            Session(jobs=2).run_suite(
+                [spec(), ExperimentSpec("no-such-app", "scoma",
+                                        preset="tiny",
+                                        config=tiny_config())])

@@ -16,14 +16,14 @@ reduced machine and assert the *shapes* of the paper's results (section
 import pytest
 
 import repro
-from repro.harness.runner import run_suite
+from repro.harness.session import Session
 
 
 @pytest.fixture(scope="module")
 def suites():
     cfg = repro.tiny_config()
     apps = ("lu", "ocean", "water-nsq")
-    return {app: run_suite(app, preset="tiny", config=cfg) for app in apps}
+    return Session().run_campaign(apps, preset="tiny", config=cfg)
 
 
 def test_scoma_has_fewest_remote_misses(suites):
@@ -104,10 +104,13 @@ def test_dram_pit_slows_lanuma_down():
 
     cfg = repro.tiny_config()
     dram = replace(cfg, latency=LatencyModel(pit_access=10))
-    sram_r = run_suite("lu", policies=("lanuma",), preset="tiny",
-                       config=cfg).results["lanuma"]
-    dram_r = run_suite("lu", policies=("lanuma",), preset="tiny",
-                       config=dram).results["lanuma"]
+    session = Session()
+    sram_r = session.run_workload_suite(
+        "lu", policies=("lanuma",), preset="tiny",
+        config=cfg).results["lanuma"]
+    dram_r = session.run_workload_suite(
+        "lu", policies=("lanuma",), preset="tiny",
+        config=dram).results["lanuma"]
     slowdown = (dram_r.stats.execution_cycles
                 / sram_r.stats.execution_cycles)
     assert 1.0 < slowdown < 1.25  # paper: 2%-16%

@@ -52,3 +52,41 @@ def test_with_policy_limits_copies():
     capped = cfg.with_policy_limits(100)
     assert capped.page_cache_frames == 100
     assert cfg.page_cache_frames is None
+
+
+def test_to_dict_round_trips_defaults():
+    cfg = default_config()
+    assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_to_dict_round_trips_nested_overrides():
+    from dataclasses import replace
+
+    from repro.sim.latency import LatencyModel
+    cfg = replace(tiny_config(page_cache_frames=12,
+                              enable_migration=True,
+                              directory_caches_client_frames=True),
+                  latency=LatencyModel(pit_access=10, pit_hash=40))
+    back = MachineConfig.from_dict(cfg.to_dict())
+    assert back == cfg
+    assert back.l1 == cfg.l1 and back.l2 == cfg.l2
+    assert back.latency.pit_access == 10
+
+
+def test_to_dict_survives_json():
+    import json
+    cfg = tiny_config()
+    rehydrated = json.loads(json.dumps(cfg.to_dict()))
+    assert MachineConfig.from_dict(rehydrated) == cfg
+
+
+def test_config_hash_stable_and_field_sensitive():
+    assert tiny_config().config_hash() == tiny_config().config_hash()
+    assert (tiny_config().config_hash()
+            != tiny_config(tlb_entries=16).config_hash())
+    # Nested latency fields count too.
+    from dataclasses import replace
+
+    from repro.sim.latency import LatencyModel
+    dram = replace(tiny_config(), latency=LatencyModel(pit_access=10))
+    assert dram.config_hash() != tiny_config().config_hash()

@@ -28,6 +28,17 @@ class TestResource:
         assert r.utilization(100) == 0.25
         assert r.utilization(0) == 0.0
 
+    def test_utilization_clamps_at_one(self):
+        r = Resource("r")
+        r.acquire(0, 50)
+        assert r.utilization(10) == 1.0
+
+    def test_utilization_negative_window_raises(self):
+        r = Resource("r")
+        r.acquire(0, 25)
+        with pytest.raises(ValueError):
+            r.utilization(-1)
+
     def test_busy_accounting(self):
         r = Resource("r")
         r.acquire(0, 5)

@@ -33,6 +33,29 @@ def test_references_sum_over_cpus():
     assert stats.references == 15
 
 
+def test_to_dict_round_trips_through_json_and_pickle():
+    import json
+    import pickle
+
+    stats = MachineStats(nodes=[NodeStats(0), NodeStats(1)],
+                         cpus=[CpuStats(0)])
+    stats.nodes[0].remote_misses = 11
+    stats.nodes[1].scoma_client_frames_peak = 9
+    stats.cpus[0].references = 1234
+    stats.execution_cycles = 5678
+    stats.frames_allocated_total = 3
+    stats.touched_line_fraction_sum = 1.875
+    stats.directory_cache_hits = 42
+
+    via_json = MachineStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert via_json.to_dict() == stats.to_dict()
+    assert via_json.remote_misses == 11
+    assert via_json.touched_line_fraction_sum == 1.875
+
+    via_pickle = pickle.loads(pickle.dumps(stats))
+    assert via_pickle.to_dict() == stats.to_dict()
+
+
 def test_summary_is_flat_and_rounded():
     stats = MachineStats(nodes=[NodeStats(0)], cpus=[CpuStats(0)])
     stats.execution_cycles = 1000

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests + a 2-worker mini-campaign smoke test.
+#
+# Usage: tools/ci_check.sh [extra pytest args...]
+#
+# The smoke test runs a real two-application campaign through the
+# parallel scheduler twice against a throwaway cache directory: the
+# first pass exercises the multiprocessing pool end-to-end, the second
+# must be served entirely from the result cache and its rendered output
+# must be byte-identical to the first.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+echo "== 2-worker mini-campaign smoke test =="
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+python -m repro evaluate --preset tiny --apps fft water-nsq --skip-pit \
+    --jobs 2 --cache-dir "$workdir/cache" > "$workdir/cold.txt"
+python -m repro evaluate --preset tiny --apps fft water-nsq --skip-pit \
+    --jobs 2 --cache-dir "$workdir/cache" > "$workdir/warm.txt"
+
+# Strip the nondeterministic progress/wall-clock lines, then the two
+# campaign reports must match byte for byte.
+for f in cold warm; do
+    grep -v -e '^  \[' -e '^campaign:' "$workdir/$f.txt" > "$workdir/$f.tables"
+done
+if ! diff -u "$workdir/cold.tables" "$workdir/warm.tables"; then
+    echo "FAIL: warm-cache campaign diverged from the cold run" >&2
+    exit 1
+fi
+if ! grep -q 'cached' "$workdir/warm.txt"; then
+    echo "FAIL: warm run did not hit the result cache" >&2
+    exit 1
+fi
+echo "ci_check: OK"

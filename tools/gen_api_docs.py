@@ -54,12 +54,67 @@ def describe_module(path: pathlib.Path) -> "list[str]":
     return lines
 
 
+#: Hand-authored guide sections rendered ahead of the generated
+#: per-module reference.
+GUIDE = """\
+## Running campaigns in parallel
+
+The evaluation campaign is a grid of independent (workload, policy)
+cells; the `repro.harness.session` module schedules them as a two-stage
+DAG (every SCOMA run plus the uncapped policies fan out first, and each
+workload's capped policies are scheduled the moment its SCOMA result —
+and with it the per-node page-cache caps — lands).
+
+```python
+from repro.harness.session import ExperimentSpec, Session
+
+session = Session(jobs=4, cache_dir=".prism-cache")
+result = session.run(ExperimentSpec("fft", "scoma", preset="small"))
+suite  = session.run_workload_suite("fft", preset="small")
+suites = session.run_campaign(("fft", "lu"), preset="small")
+```
+
+* **`ExperimentSpec`** — a frozen dataclass naming one cell: `workload`,
+  `policy`, `preset`, `config` (a `MachineConfig`, or `None` for the
+  default), `page_cache_override` and `seed`.  Specs are immutable,
+  content-hashable (`spec.cache_key()`), and serialize to plain dicts
+  (`to_payload()` / `from_payload()`) for the worker handoff.
+* **`Session(jobs=N)`** — `N` worker processes via `multiprocessing`
+  (`jobs=1` runs in-process).  Outputs are deterministic: `--jobs 4` is
+  byte-identical to `--jobs 1`; only the wall clock changes.
+* **Result cache** — `Session(cache_dir=...)` keeps a content-addressed
+  on-disk cache at `<dir>/<key[:2]>/<key>.json`, keyed by a stable
+  SHA-256 of `(spec, MachineConfig, schema version)`.  A re-run after a
+  config tweak only recomputes the cells whose inputs changed; consult
+  `session.cache_hits` / `session.cache_misses`.
+* **Progress** — pass `progress=CampaignProgress()` (from
+  `repro.harness.report`) for live per-cell lines and a wall-clock
+  summary.
+* **CLI** — `python -m repro run|suite|evaluate` accept `--jobs N`,
+  `--cache-dir DIR` (default `.prism-cache`) and `--no-cache`.
+
+### Deprecation path
+
+The free functions `run_one(...)`, `run_suite(...)` and
+`run_all_suites(...)` in `repro.harness.runner` are deprecated: they
+still work — each builds an `ExperimentSpec` internally and produces
+identical results — but they emit a `DeprecationWarning`.  Migrate:
+
+| old | new |
+|---|---|
+| `run_one(w, p, preset=s, config=c)` | `Session().run(ExperimentSpec(w, p, preset=s, config=c))` |
+| `run_suite(w, preset=s)` | `Session().run_workload_suite(w, preset=s)` |
+| `run_all_suites(apps, preset=s)` | `Session().run_campaign(apps, preset=s)` |
+"""
+
+
 def main() -> int:
     out = ["# API reference",
            "",
            "Generated from docstrings by `tools/gen_api_docs.py`;",
            "regenerate after changing the public API.",
-           ""]
+           "",
+           GUIDE]
     for path in sorted(SRC.rglob("*.py")):
         out += describe_module(path)
     sys.stdout.write("\n".join(out) + "\n")
