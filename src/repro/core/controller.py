@@ -23,6 +23,7 @@ uncontended transactions reproduce Table 1 and contended ones stretch.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.directory import DirState
 from repro.core.finegrain import Tag
 from repro.core.modes import PageMode
@@ -67,6 +68,15 @@ class CoherenceController:
         self.lat = machine.config.latency
         self.lpp = machine.config.lines_per_page
         self.resource = Resource("node%d.ctrl" % node.node_id)
+        # Pre-resolved observability handles (None when disabled, so the
+        # protocol paths pay one attribute test each).
+        registry = obs.current()
+        if registry is not None:
+            self._obs_fetch = registry.histogram("core.fetch_latency_cycles")
+            self._obs_messages = registry.counter("core.remote_transactions")
+        else:
+            self._obs_fetch = None
+            self._obs_messages = None
 
     # ------------------------------------------------------------------
     # Client side.
@@ -151,6 +161,9 @@ class CoherenceController:
             node.stats.remote_misses += 1
             if entry.mode == PageMode.LANUMA:
                 node.kernel.note_lanuma_refetch(entry)
+        if self._obs_fetch is not None:
+            self._obs_fetch.observe(t - now)
+            self._obs_messages.inc()
         return t
 
     def _reroute(self, entry, stale_home: int, true_home: int, t: int) -> int:
@@ -211,6 +224,7 @@ class CoherenceController:
         # nodes not on the page's writer list (section 3.2).
         if want_excl and not node.pit.write_allowed(entry.frame, requester):
             node.stats.wild_writes_blocked += 1
+            obs.counter("core.wild_writes_blocked").inc()
             raise WildWriteError(
                 "node %d may not write gpage %d (home %d firewall)"
                 % (requester, gpage, node.node_id))

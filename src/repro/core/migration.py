@@ -18,6 +18,7 @@ the majority of them, the home migrates to that node.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.directory import DirState
 from repro.core.finegrain import Tag
 from repro.core.modes import PageMode
@@ -155,3 +156,4 @@ class MigrationManager:
         new_home.stats.homes_migrated_in += 1
         machine.nodes[static_id].msglog.record(MessageKind.MIGRATE_ACK, 2)
         self.migrations += 1
+        obs.counter("core.migrations").inc()

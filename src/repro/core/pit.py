@@ -140,6 +140,18 @@ class PageInformationTable:
             return None
         return self._by_frame[frame]
 
+    def fast_ratio(self) -> float:
+        """Fraction of charged lookups that avoided the hash search.
+
+        1.0 when no lookups were charged (nothing was slow).  The
+        observability layer publishes this per node at the end of a run
+        (``core.pit_fast_ratio`` — the section 4.1/4.3 asymmetry as a
+        single number).
+        """
+        if not self.lookups:
+            return 1.0
+        return 1.0 - (self.hash_lookups / self.lookups)
+
     def frames(self) -> "list[PitEntry]":
         """All entries (one per mapped frame)."""
         return list(self._by_frame.values())

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.finegrain import Tag
 from repro.core.modes import PageMode
 
@@ -69,6 +70,21 @@ class PageModePolicy:
 
     def on_cache_full(self, kernel, gpage: int) -> FullCacheAction:
         raise NotImplementedError
+
+    def decide_cache_full(self, kernel, gpage: int) -> FullCacheAction:
+        """Run :meth:`on_cache_full` and publish the outcome as a
+        ``core.cache_full_actions{policy,action}`` counter (action is
+        "lanuma", "demote", or "evict")."""
+        action = self.on_cache_full(kernel, gpage)
+        if action.kind == "lanuma":
+            outcome = "lanuma"
+        elif action.demote:
+            outcome = "demote"
+        else:
+            outcome = "evict"
+        obs.counter("core.cache_full_actions",
+                    policy=self.name, action=outcome).inc()
+        return action
 
     def __repr__(self) -> str:
         return "%s()" % type(self).__name__

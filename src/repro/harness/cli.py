@@ -41,6 +41,9 @@ def _add_session_args(sub) -> None:
                           % DEFAULT_CACHE_DIR)
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk result cache")
+    sub.add_argument("--metrics", action="store_true",
+                     help="collect a metrics-registry snapshot per "
+                          "simulated cell (cached alongside the stats)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="client page-cache frames per node")
     run.add_argument("--migration", action="store_true",
                      help="enable lazy home migration")
+    run.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="write the run's structured event trace as "
+                          "JSONL (forces an uncached, in-process run)")
+    run.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write the run's metrics snapshot as JSON "
+                          "(forces an uncached, in-process run)")
     _add_session_args(run)
 
     suite = sub.add_parser("suite",
@@ -91,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("after", help="new campaign JSON")
     compare.add_argument("--threshold", type=float, default=0.05)
 
+    metrics = sub.add_parser(
+        "metrics", help="per-policy telemetry for cached (or fresh) cells")
+    metrics.add_argument("workload", choices=APPLICATIONS)
+    metrics.add_argument("--policy", action="append", default=None,
+                         choices=POLICY_NAMES, metavar="POLICY",
+                         help="policy to report (repeatable; default: "
+                              "scoma and lanuma)")
+    metrics.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    metrics.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         metavar="DIR",
+                         help="result cache to read snapshots from "
+                              "(default: %s)" % DEFAULT_CACHE_DIR)
+    metrics.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate, don't touch the cache")
+
     sub.add_parser("list", help="list workloads, policies and presets")
     return parser
 
@@ -101,22 +125,42 @@ def _session_from_args(args, verbose: bool = True):
     from repro.harness.session import Session
     cache_dir = None if args.no_cache else args.cache_dir
     progress = CampaignProgress() if verbose else None
-    return Session(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+    return Session(jobs=args.jobs, cache_dir=cache_dir, progress=progress,
+                   collect_metrics=getattr(args, "metrics", False))
 
 
 def cmd_run(args) -> int:
-    """``repro run``: one workload under one policy."""
+    """``repro run``: one workload under one policy.
+
+    ``--trace-out`` / ``--metrics-out`` switch to an instrumented
+    in-process run (tracing needs the live machine); the printed stats
+    stay identical either way.
+    """
     from repro.harness.session import ExperimentSpec
     config = MachineConfig(page_cache_frames=args.page_cache,
                            enable_migration=args.migration)
     session = _session_from_args(args, verbose=False)
-    result = session.run(ExperimentSpec(args.workload, args.policy,
-                                        preset=args.preset, config=config))
+    spec = ExperimentSpec(args.workload, args.policy,
+                          preset=args.preset, config=config)
+    if args.trace_out or args.metrics_out:
+        from repro.obs import EventSink
+        sink = EventSink() if args.trace_out else None
+        result = session.run_instrumented(spec, sink=sink)
+    else:
+        result = session.run(spec)
     print("%s / %s (%s preset)%s"
           % (args.workload, args.policy, args.preset,
              " [cached]" if session.cache_hits else ""))
     for key, value in result.stats.summary().items():
         print("  %-22s %s" % (key, value))
+    if args.trace_out:
+        written = sink.write_jsonl(args.trace_out)
+        print("wrote %d events to %s (%d dropped)"
+              % (written, args.trace_out, sink.dropped))
+    if args.metrics_out:
+        from repro.harness.export import save_metrics
+        save_metrics([result], args.metrics_out)
+        print("wrote metrics snapshot to %s" % args.metrics_out)
     return 0
 
 
@@ -153,7 +197,8 @@ def cmd_evaluate(args) -> int:
     from repro.harness import run_paper_evaluation
     print(run_paper_evaluation(apps=tuple(args.apps), preset=args.preset,
                                include_pit=not args.skip_pit, verbose=True,
-                               jobs=args.jobs, cache_dir=cache_dir))
+                               jobs=args.jobs, cache_dir=cache_dir,
+                               collect_metrics=args.metrics))
     return 0
 
 
@@ -192,6 +237,66 @@ def cmd_compare(args) -> int:
     return 1 if diff.regressions(args.threshold) else 0
 
 
+def cmd_metrics(args) -> int:
+    """``repro metrics``: per-policy telemetry for one workload.
+
+    Reads metrics snapshots from the result cache; cells without a
+    cached snapshot are re-simulated in-process with telemetry on (and
+    the refreshed entry stored back, so the next invocation is free).
+    """
+    from repro.harness.session import ExperimentSpec, Session
+    from repro.harness.tables import metrics_table
+    from repro.sim.machine import RunResult
+
+    policies = args.policy if args.policy else ["scoma", "lanuma"]
+    cache_dir = None if args.no_cache else args.cache_dir
+    session = Session(cache_dir=cache_dir)
+    results = []
+    for policy in policies:
+        spec = ExperimentSpec(args.workload, policy, preset=args.preset)
+        result = None
+        if session.cache is not None:
+            stats, metrics = session.cache.load_with_metrics(spec)
+            if stats is not None and metrics is not None:
+                result = RunResult(workload=spec.workload,
+                                   policy=spec.policy,
+                                   config=spec.resolved_config(),
+                                   stats=stats, metrics=metrics)
+        if result is None:
+            result = session.run_instrumented(spec)
+        results.append(result)
+    for result in results:
+        _print_metrics_detail(result)
+    print()
+    print(metrics_table(results).render())
+    return 0
+
+
+def _print_metrics_detail(result) -> None:
+    """Latency histogram and frame-pool occupancy of one cell."""
+    from repro.obs import find_metrics
+    snap = result.metrics
+    print("\n%s / %s" % (result.workload, result.policy))
+    for _labels, hist in find_metrics(snap["histograms"],
+                                      "sim.access_latency_cycles"):
+        print("  access latency (cycles), %d observations:"
+              % hist["count"])
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            if count:
+                print("    <= %8d  %d" % (bound, count))
+        if hist["counts"][-1]:
+            print("    >  %8d  %d" % (hist["buckets"][-1],
+                                      hist["counts"][-1]))
+    print("  frame pools (per node):")
+    for pool in ("real_in_use", "imaginary_in_use",
+                 "client_scoma_in_use", "client_scoma_peak"):
+        members = find_metrics(snap["gauges"], "kernel.frame_pool." + pool)
+        members.sort(key=lambda lv: int(lv[0].get("node", -1)))
+        if members:
+            print("    %-22s %s"
+                  % (pool, " ".join(str(v) for _l, v in members)))
+
+
 def cmd_list(_args) -> int:
     """``repro list``: the available names."""
     print("workloads: %s" % ", ".join(APPLICATIONS))
@@ -210,6 +315,7 @@ def main(argv=None) -> int:
         "microbench": cmd_microbench,
         "analyze": cmd_analyze,
         "compare": cmd_compare,
+        "metrics": cmd_metrics,
         "list": cmd_list,
     }[args.command]
     return handler(args)

@@ -72,6 +72,25 @@ def load_campaign(path: str) -> "dict[str, object]":
         return json.load(fh)
 
 
+def metrics_to_dict(results: "list[RunResult]") -> "dict[str, object]":
+    """Collect the metrics snapshots of many runs, keyed by cell.
+
+    Cells without a snapshot (observability disabled, or served from a
+    cache entry stored without metrics) appear with a null snapshot so
+    the reader can tell "not collected" from "not run".
+    """
+    return {
+        "%s/%s" % (result.workload, result.policy): result.metrics
+        for result in results
+    }
+
+
+def save_metrics(results: "list[RunResult]", path: str) -> None:
+    """Write the runs' metrics snapshots as a ``metrics.json``."""
+    with open(path, "w") as fh:
+        json.dump(metrics_to_dict(results), fh, indent=2, sort_keys=True)
+
+
 def figure7_csv(suites) -> str:
     """Figure 7's series as CSV (one row per application)."""
     policies = sorted({p for s in suites.values() for p in s.results})

@@ -24,11 +24,22 @@ class CampaignProgress:
         self.total = 0
         self.done = 0
         self.cached = 0
+        #: Result-cache lookup counters, reported by the session at the
+        #: end of each batch (None until :meth:`note_cache` is called —
+        #: e.g. when the session runs without a cache).
+        self.cache_hits: "int | None" = None
+        self.cache_misses: "int | None" = None
         self.started = time.perf_counter()
 
     def expect(self, cells: int) -> None:
         """Announce ``cells`` more cells to run (totals accumulate)."""
         self.total += cells
+
+    def note_cache(self, hits: int, misses: int) -> None:
+        """Record the session's result-cache lookup counters (absolute
+        values, not increments; the latest call wins)."""
+        self.cache_hits = hits
+        self.cache_misses = misses
 
     def cell_done(self, workload: str, policy: str, seconds: float,
                   cached: bool = False) -> None:
@@ -53,10 +64,14 @@ class CampaignProgress:
 
     def summary(self) -> str:
         """One-line wall-clock summary of the whole campaign."""
-        return ("campaign: %d cells in %.1fs wall-clock"
+        line = ("campaign: %d cells in %.1fs wall-clock"
                 " (%d simulated, %d cache hits)"
                 % (self.done, self.elapsed, self.done - self.cached,
                    self.cached))
+        if self.cache_hits is not None:
+            line += (" [result cache: %d hits, %d misses]"
+                     % (self.cache_hits, self.cache_misses))
+        return line
 
 
 class TextTable:

@@ -39,6 +39,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine, RunResult
 from repro.sim.stats import MachineStats
@@ -139,16 +140,32 @@ def execute_spec(spec: ExperimentSpec) -> RunResult:
     return machine.run(make_workload(spec.workload, spec.preset))
 
 
-def _worker_run(payload: "dict[str, object]") -> "dict[str, object]":
+def _worker_run(payload: "dict[str, object]",
+                collect_metrics: bool = False) -> "dict[str, object]":
     """Pool worker: simulate one cell, return JSON-safe stats.
 
     Takes and returns plain dicts so the worker handoff goes through
     the exact same serialization as the result cache — a parallel run
     cannot diverge from a sequential one by construction.
+
+    ``collect_metrics`` is deliberately *not* part of the payload: it
+    does not affect the simulation result, so it must not perturb the
+    cache key.  When set, the cell runs under a fresh
+    :func:`repro.obs.collecting` registry and the snapshot rides along
+    as ``out["metrics"]``.
     """
     started = time.perf_counter()
-    result = execute_spec(ExperimentSpec.from_payload(payload))
+    spec = ExperimentSpec.from_payload(payload)
+    if collect_metrics:
+        with obs.collecting() as registry:
+            with obs.timer("harness.cell_wall_seconds"):
+                result = execute_spec(spec)
+        metrics = registry.to_dict()
+    else:
+        result = execute_spec(spec)
+        metrics = None
     return {"stats": result.stats.to_dict(),
+            "metrics": metrics,
             "seconds": time.perf_counter() - started}
 
 
@@ -173,24 +190,39 @@ class ResultCache:
 
     def load(self, spec: ExperimentSpec) -> "MachineStats | None":
         """The cached stats for ``spec``, or None on a miss."""
+        return self.load_with_metrics(spec)[0]
+
+    def load_with_metrics(
+            self, spec: ExperimentSpec
+    ) -> "tuple[MachineStats | None, dict[str, object] | None]":
+        """Cached ``(stats, metrics snapshot)`` for ``spec``.
+
+        ``metrics`` is None when the entry was stored by a run without
+        metrics collection (the snapshot is an optional rider — its
+        absence never invalidates the entry).
+        """
         try:
             with open(self._path(spec.cache_key())) as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
-            return None
+            return None, None
         if entry.get("schema") != CACHE_SCHEMA:
             self.misses += 1
-            return None
+            return None, None
         self.hits += 1
-        return MachineStats.from_dict(entry["stats"])
+        return (MachineStats.from_dict(entry["stats"]),
+                entry.get("metrics"))
 
-    def store(self, spec: ExperimentSpec, stats: MachineStats) -> None:
+    def store(self, spec: ExperimentSpec, stats: MachineStats,
+              metrics: "dict[str, object] | None" = None) -> None:
         """Persist one finished cell (atomic, last writer wins)."""
         path = self._path(spec.cache_key())
         os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {"schema": CACHE_SCHEMA, "spec": spec.to_payload(),
                  "stats": stats.to_dict()}
+        if metrics is not None:
+            entry["metrics"] = metrics
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
         try:
@@ -226,41 +258,48 @@ class _Scheduler:
         """Schedule one cell; its completion event carries ``tag``."""
         self._outstanding += 1
         cache = self._session.cache
-        stats = cache.load(spec) if cache is not None else None
+        collect = self._session.collect_metrics
+        stats, metrics = (cache.load_with_metrics(spec)
+                          if cache is not None else (None, None))
         if stats is not None:
-            self._events.put((tag, spec, stats, True, 0.0, None))
+            self._events.put((tag, spec, stats, metrics, True, 0.0, None))
         elif self._pool is None:
             try:
-                out = _worker_run(spec.to_payload())
+                out = _worker_run(spec.to_payload(), collect)
             except Exception as exc:                # noqa: BLE001
-                self._events.put((tag, spec, None, False, 0.0, exc))
+                self._events.put((tag, spec, None, None, False, 0.0, exc))
             else:
                 self._events.put((tag, spec,
                                   MachineStats.from_dict(out["stats"]),
+                                  out["metrics"],
                                   False, out["seconds"], None))
         else:
             def _done(out, tag=tag, spec=spec):
                 self._events.put((tag, spec,
                                   MachineStats.from_dict(out["stats"]),
+                                  out["metrics"],
                                   False, out["seconds"], None))
 
             def _fail(exc, tag=tag, spec=spec):
-                self._events.put((tag, spec, None, False, 0.0, exc))
+                self._events.put((tag, spec, None, None, False, 0.0, exc))
 
-            self._pool.apply_async(_worker_run, (spec.to_payload(),),
+            self._pool.apply_async(_worker_run,
+                                   (spec.to_payload(), collect),
                                    callback=_done, error_callback=_fail)
 
     def drain(self):
-        """Yield ``(tag, spec, stats, cached, seconds)`` events."""
+        """Yield ``(tag, spec, stats, metrics, cached, seconds)``
+        events."""
         try:
             while self._outstanding:
-                tag, spec, stats, cached, seconds, exc = self._events.get()
+                (tag, spec, stats, metrics,
+                 cached, seconds, exc) = self._events.get()
                 self._outstanding -= 1
                 if exc is not None:
                     raise exc
                 if not cached and self._session.cache is not None:
-                    self._session.cache.store(spec, stats)
-                yield tag, spec, stats, cached, seconds
+                    self._session.cache.store(spec, stats, metrics)
+                yield tag, spec, stats, metrics, cached, seconds
         finally:
             self.close()
 
@@ -281,15 +320,22 @@ class Session:
     :class:`~repro.harness.report.CampaignProgress` for live per-cell
     lines.  Results are deterministic: the same specs produce the same
     statistics at any ``jobs`` width, with or without a warm cache.
+
+    ``collect_metrics`` makes every simulated cell run under a fresh
+    :mod:`repro.obs` registry; the snapshot lands on
+    ``RunResult.metrics`` and rides along in the result cache.  It does
+    not change cache keys or statistics — cached cells keep whatever
+    snapshot (possibly none) they were stored with.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: "str | None" = None,
-                 progress=None) -> None:
+                 progress=None, collect_metrics: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
+        self.collect_metrics = collect_metrics
 
     # -- cache counters --------------------------------------------------
 
@@ -325,14 +371,15 @@ class Session:
         for index, spec in enumerate(specs):
             scheduler.submit(index, spec)
         results: "list[RunResult | None]" = [None] * len(specs)
-        for index, spec, stats, cached, seconds in scheduler.drain():
+        for index, spec, stats, metrics, cached, seconds in scheduler.drain():
             results[index] = RunResult(workload=spec.workload,
                                        policy=spec.policy,
                                        config=spec.resolved_config(),
-                                       stats=stats)
+                                       stats=stats, metrics=metrics)
             if self.progress is not None:
                 self.progress.cell_done(spec.workload, spec.policy,
                                         seconds, cached)
+        self._note_cache_progress()
         return results
 
     def run_workload_suite(self, workload: str, policies=None,
@@ -378,9 +425,10 @@ class Session:
                         workload=app, policy=policy, preset=preset,
                         config=config))
 
-        for app, spec, stats, cached, seconds in scheduler.drain():
+        for app, spec, stats, metrics, cached, seconds in scheduler.drain():
             result = RunResult(workload=spec.workload, policy=spec.policy,
-                               config=spec.resolved_config(), stats=stats)
+                               config=spec.resolved_config(), stats=stats,
+                               metrics=metrics)
             suites[app].results[spec.policy] = result
             if self.progress is not None:
                 self.progress.cell_done(spec.workload, spec.policy,
@@ -398,4 +446,42 @@ class Session:
         for suite in suites.values():
             suite.results = {p: suite.results[p] for p in ordered
                              if p in suite.results}
+        self._note_cache_progress()
         return suites
+
+    def _note_cache_progress(self) -> None:
+        if self.progress is not None and self.cache is not None:
+            self.progress.note_cache(self.cache.hits, self.cache.misses)
+
+    def run_instrumented(self, spec: ExperimentSpec, sink=None,
+                         trace_kinds=None) -> RunResult:
+        """Run one cell in-process with full telemetry.
+
+        Always collects a metrics snapshot (stored back into the cache,
+        refreshing any snapshot-less entry for the same spec — last
+        writer wins).  ``sink`` takes a
+        :class:`repro.obs.events.EventSink`; when given, the run is also
+        traced (``trace_kinds`` restricts the recorded event classes as
+        in :class:`repro.sim.trace.TraceRecorder`).  Tracing needs the
+        live machine, so this path never *serves* from the cache.
+        """
+        from repro.sim.trace import TraceRecorder
+
+        override = (list(spec.page_cache_override)
+                    if spec.page_cache_override is not None else None)
+        with obs.collecting() as registry:
+            with obs.timer("harness.cell_wall_seconds"):
+                machine = Machine(spec.resolved_config(),
+                                  policy=spec.policy,
+                                  page_cache_override=override)
+                workload = make_workload(spec.workload, spec.preset)
+                if sink is not None:
+                    with TraceRecorder(machine, kinds=trace_kinds,
+                                       sink=sink):
+                        result = machine.run(workload)
+                else:
+                    result = machine.run(workload)
+        result.metrics = registry.to_dict()
+        if self.cache is not None:
+            self.cache.store(spec, result.stats, result.metrics)
+        return result

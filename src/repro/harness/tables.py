@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.harness import paperdata
 from repro.harness.report import TextTable
+from repro.obs import find_metrics, quantile
 from repro.sim.latency import PAPER_TABLE1, LatencyModel
 from repro.workloads import make_workload
 from repro.workloads.microbench import run_microbenchmark
@@ -117,6 +118,44 @@ def table5(suites) -> TextTable:
                       suite.page_outs("dyn-util"),
                       suite.page_outs("dyn-lru"),
                       "%d/%d/%d" % (pf, pu, pl))
+    return table
+
+
+def metrics_table(results) -> TextTable:
+    """Per-cell telemetry summary from ``RunResult.metrics`` snapshots.
+
+    One row per result that carries a metrics snapshot (cells run
+    without observability are skipped): access count and p50/p95 access
+    latency from the ``sim.access_latency_cycles`` histogram, page
+    faults serviced, the machine-wide PIT fast-lookup ratio, and the
+    peak client page-cache occupancy across nodes.
+    """
+    table = TextTable(
+        "Per-cell telemetry",
+        ["Workload", "Policy", "Accesses", "p50 cyc", "p95 cyc",
+         "Faults", "PIT fast", "Cache peak"])
+    for result in results:
+        snap = result.metrics
+        if not snap:
+            continue
+        accesses = p50 = p95 = 0
+        for _labels, hist in find_metrics(snap["histograms"],
+                                          "sim.access_latency_cycles"):
+            accesses = hist["count"]
+            p50 = quantile(hist, 0.50)
+            p95 = quantile(hist, 0.95)
+        faults = sum(hist["count"] for _labels, hist in find_metrics(
+            snap["histograms"], "kernel.fault_service_cycles"))
+        pit_fast = 0.0
+        for labels, value in find_metrics(snap["gauges"],
+                                          "core.pit_fast_ratio"):
+            if not labels:       # the machine-wide roll-up
+                pit_fast = value
+        peak = max((value for _labels, value in find_metrics(
+            snap["gauges"], "kernel.frame_pool.client_scoma_peak")),
+            default=0)
+        table.add_row(result.workload, result.policy, accesses,
+                      p50, p95, faults, pit_fast, peak)
     return table
 
 

@@ -62,6 +62,21 @@ class FramePools:
             return True
         return self.real_in_use < self.total_frames
 
+    def occupancy(self) -> "dict[str, int]":
+        """Current pool occupancy and cumulative totals.
+
+        The observability layer publishes these as per-node
+        ``kernel.frame_pool.*`` gauges at the end of a run.
+        """
+        return {
+            "real_in_use": self.real_in_use,
+            "imaginary_in_use": self.imaginary_in_use,
+            "client_scoma_in_use": self.client_scoma_in_use,
+            "client_scoma_peak": self.client_scoma_peak,
+            "real_allocated_total": self.real_allocated_total,
+            "imaginary_allocated_total": self.imaginary_allocated_total,
+        }
+
     # -- allocation ------------------------------------------------------
 
     def alloc_real(self, client_scoma: bool = False) -> int:

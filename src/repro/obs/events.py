@@ -1,0 +1,168 @@
+"""Structured event sink: typed, ordered, exportable simulation events.
+
+Complements the metrics registry: where metrics aggregate, events keep
+the *ordered stream* (the substrate later correctness tooling — e.g.
+race detection over DSM event logs — needs).  Every event is a plain
+dict carrying a process-monotonic sequence number and a ``kind`` from
+:data:`EVENT_SCHEMA`; the sink is a bounded ring buffer (oldest events
+are overwritten, with an accurate ``dropped`` count) and exports JSONL
+(one event per line, sorted keys) or CSV (one section per kind).
+
+Producers: :class:`~repro.sim.trace.TraceRecorder` forwards its machine
+hooks here when constructed with a sink; the CLI's ``run --trace-out``
+wires that up end to end.  Consumers validate with
+:func:`validate_event` / :func:`validate_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+#: Required payload fields (and their types) per event kind.  ``seq``
+#: and ``kind`` are implicit on every event.  ``bool`` fields must be
+#: checked before ``int`` (bool subclasses int).
+EVENT_SCHEMA: "dict[str, dict[str, type]]" = {
+    "access": {"time": int, "cpu": int, "vaddr": int, "write": bool,
+               "latency": int},
+    "fault": {"time": int, "node": int, "vpage": int, "gpage": int,
+              "mode": str, "remote_home": bool},
+    "pageout": {"time": int, "node": int, "frame": int, "demoted": bool},
+    "promote": {"time": int, "node": int, "gpage": int},
+    "migrate": {"gpage": int, "old_home": int, "new_home": int},
+}
+
+
+class EventSink:
+    """A bounded ring buffer of structured events.
+
+    ``capacity`` bounds memory: once full, each new event overwrites
+    the oldest one and increments :attr:`dropped`.  Sequence numbers
+    keep counting across drops, so consumers can detect gaps.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self.dropped = 0
+        self._seq = 0
+        self._buffer: "deque[dict]" = deque(maxlen=capacity)
+
+    def emit(self, kind: str, **fields) -> "dict[str, object]":
+        """Record one event; returns the stored event dict."""
+        if kind not in EVENT_SCHEMA:
+            raise ValueError("unknown event kind %r (want one of %s)"
+                             % (kind, ", ".join(sorted(EVENT_SCHEMA))))
+        event = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        return event
+
+    @property
+    def events(self) -> "list[dict]":
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (retained + dropped)."""
+        return self._seq
+
+    def summary(self) -> "dict[str, int]":
+        """Retained-event counts by kind, plus the dropped count."""
+        counts: "dict[str, int]" = {}
+        for event in self._buffer:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        counts["dropped"] = self.dropped
+        return counts
+
+    # -- export ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All retained events as JSONL (sorted keys, one per line)."""
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self._buffer)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the JSONL export to ``path``; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self._buffer)
+
+    def to_csv(self) -> str:
+        """Retained events as CSV, one section per event kind."""
+        lines = []
+        for kind in sorted(EVENT_SCHEMA):
+            events = [e for e in self._buffer if e["kind"] == kind]
+            if not events:
+                continue
+            fields = ["seq"] + sorted(EVENT_SCHEMA[kind])
+            lines.append("# %s" % kind)
+            lines.append(",".join(fields))
+            for event in events:
+                lines.append(",".join(str(event.get(f, "")) for f in fields))
+        return "\n".join(lines)
+
+
+def validate_event(event: "dict[str, object]") -> None:
+    """Check one event dict against :data:`EVENT_SCHEMA`.
+
+    Raises :class:`ValueError` naming the first problem found.
+    """
+    if not isinstance(event, dict):
+        raise ValueError("event must be a dict, got %r" % type(event))
+    kind = event.get("kind")
+    if kind not in EVENT_SCHEMA:
+        raise ValueError("unknown event kind %r" % kind)
+    seq = event.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ValueError("event %r has bad seq %r" % (kind, seq))
+    for field, want in EVENT_SCHEMA[kind].items():
+        if field not in event:
+            raise ValueError("%s event (seq %d) missing field %r"
+                             % (kind, seq, field))
+        value = event[field]
+        if want is bool:
+            ok = isinstance(value, bool)
+        elif want is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, want)
+        if not ok:
+            raise ValueError("%s event (seq %d) field %r: expected %s, "
+                             "got %r" % (kind, seq, field, want.__name__,
+                                         value))
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate a JSONL trace file; returns the number of events.
+
+    Checks each line parses, conforms to the schema, and that sequence
+    numbers are strictly increasing (gaps are fine — they mark ring
+    drops — but reordering is not).
+    """
+    count = 0
+    last_seq = -1
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise ValueError("%s:%d: not JSON: %s"
+                                 % (path, lineno, exc)) from None
+            validate_event(event)
+            if event["seq"] <= last_seq:
+                raise ValueError("%s:%d: sequence went backwards (%d after "
+                                 "%d)" % (path, lineno, event["seq"],
+                                          last_seq))
+            last_seq = event["seq"]
+            count += 1
+    return count

@@ -30,8 +30,9 @@ from repro.kernel.vm import NodeKernel
 from repro.mem.bus import MemoryBus, NodeMemory
 from repro.mem.cache import CacheHierarchy, LineState, NodePresence
 from repro.mem.tlb import Tlb
+from repro import obs
 from repro.sim.config import MachineConfig
-from repro.sim.engine import Barrier, LockTable, Resource
+from repro.sim.engine import Barrier, LockTable, Resource, sample_utilization
 from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
                            OP_UNLOCK, OP_WRITE)
 from repro.sim.stats import CpuStats, MachineStats, NodeStats
@@ -89,6 +90,9 @@ class RunResult:
     policy: str
     config: MachineConfig
     stats: MachineStats
+    #: Metrics-registry snapshot collected during the run (see
+    #: ``repro.obs``), or None when observability was disabled.
+    metrics: "dict[str, object] | None" = None
 
     @property
     def execution_cycles(self) -> int:
@@ -161,6 +165,14 @@ class Machine:
         self.stats = MachineStats(
             nodes=[n.stats for n in self.nodes],
             cpus=[c.stats for c in self.cpus])
+
+        # Observability: pre-resolve the per-reference histogram handle
+        # so the hot path pays one attribute test when disabled.
+        self._obs = obs.current()
+        self._obs_access = (
+            self._obs.histogram("sim.access_latency_cycles",
+                                policy=self.policy.name)
+            if self._obs is not None else None)
 
     # ------------------------------------------------------------------
     # Home lookup.
@@ -238,13 +250,19 @@ class Machine:
                 return "done"
             kind = op[0]
             if kind == OP_READ:
-                time = self._access(cpu, op[1], False, time + self._ref_gap)
+                issued = time + self._ref_gap
+                time = self._access(cpu, op[1], False, issued)
                 stats.references += 1
                 stats.reads += 1
+                if self._obs_access is not None:
+                    self._obs_access.observe(time - issued)
             elif kind == OP_WRITE:
-                time = self._access(cpu, op[1], True, time + self._ref_gap)
+                issued = time + self._ref_gap
+                time = self._access(cpu, op[1], True, issued)
                 stats.references += 1
                 stats.writes += 1
+                if self._obs_access is not None:
+                    self._obs_access.observe(time - issued)
             elif kind == OP_COMPUTE:
                 time += op[1]
             elif kind == OP_BARRIER:
@@ -259,6 +277,8 @@ class Machine:
                 if released is not None:
                     for rcid, rtime in released:
                         self._wake(rcid, rtime)
+                    if self._obs is not None:
+                        self._sample_epoch(released[0][1])
                 return "blocked"
             elif kind == OP_LOCK:
                 granted = self.locks.acquire(op[1], cpu.cpu_id, time)
@@ -510,6 +530,17 @@ class Machine:
         for cpu in self.nodes[node_id].cpus:
             cpu.done = True
 
+    def shared_resources(self) -> "list[Resource]":
+        """Every shared hardware resource (buses, memory ports,
+        controllers, kernels, network interfaces)."""
+        resources: "list[Resource]" = []
+        for node in self.nodes:
+            resources += (node.bus.address_path, node.bus.data_path,
+                          node.memory.port, node.controller.resource,
+                          node.kernel_resource)
+        resources += self.network.interfaces
+        return resources
+
     def resource_report(self) -> "dict[str, float]":
         """Busy fraction of every shared hardware resource over the run.
 
@@ -517,15 +548,8 @@ class Machine:
         (home controller saturation, bus pressure, NI injection...).
         """
         total = self.stats.execution_cycles
-        report: "dict[str, float]" = {}
-        for node in self.nodes:
-            for resource in (node.bus.address_path, node.bus.data_path,
-                             node.memory.port, node.controller.resource,
-                             node.kernel_resource):
-                report[resource.name] = resource.utilization(total)
-        for ni in self.network.interfaces:
-            report[ni.name] = ni.utilization(total)
-        return report
+        return {resource.name: resource.utilization(total)
+                for resource in self.shared_resources()}
 
     def hottest_resources(self, top: int = 5) -> "list[tuple[str, float]]":
         """The ``top`` busiest resources, descending."""
@@ -549,3 +573,41 @@ class Machine:
                 self.retire_frame_utilization(entry)
             self.stats.directory_cache_hits += node.directory.cache.hits
             self.stats.directory_cache_misses += node.directory.cache.misses
+        if self._obs is not None:
+            self._publish_final_metrics()
+
+    # ------------------------------------------------------------------
+    # Observability (active only with a metrics registry installed).
+    # ------------------------------------------------------------------
+
+    def _sample_epoch(self, now: int) -> None:
+        """Per-epoch telemetry, taken at each barrier release: resource
+        utilization curves and page-cache occupancy per node."""
+        sample_utilization(self._obs, self.shared_resources(), now)
+        for node in self.nodes:
+            self._obs.series("kernel.page_cache_frames",
+                             node=node.node_id).sample(
+                now, node.pools.client_scoma_in_use)
+
+    def _publish_final_metrics(self) -> None:
+        """End-of-run roll-ups: protocol message mix, PIT traffic and
+        hit ratio, frame-pool occupancy gauges."""
+        registry = self._obs
+        pit_lookups = pit_hash = 0
+        for node in self.nodes:
+            for kind in sorted(node.msglog.sent, key=lambda k: k.name):
+                registry.counter("core.protocol_messages",
+                                 kind=kind.name).inc(node.msglog.sent[kind])
+            pit_lookups += node.pit.lookups
+            pit_hash += node.pit.hash_lookups
+            registry.gauge("core.pit_fast_ratio", node=node.node_id).set(
+                round(node.pit.fast_ratio(), 4))
+            for pool, value in node.pools.occupancy().items():
+                registry.gauge("kernel.frame_pool." + pool,
+                               node=node.node_id).set(value)
+        registry.counter("core.pit_lookups").inc(pit_lookups)
+        registry.counter("core.pit_hash_lookups").inc(pit_hash)
+        registry.gauge("core.pit_fast_ratio").set(
+            round(1.0 - pit_hash / pit_lookups, 4) if pit_lookups else 1.0)
+        registry.gauge("sim.execution_cycles").set(
+            self.stats.execution_cycles)

@@ -6,21 +6,34 @@ page-outs, mode demotions/promotions and home migrations.  Tracing is
 opt-in — the hooks wrap the hot path, so expect a run to slow down
 while recording.
 
-Typical use::
+Storage is a **bounded ring buffer**: when more than ``max_events``
+events arrive, the *oldest* events are overwritten (and counted in
+``dropped``) so the recorder always holds the most recent window of the
+run.  Earlier versions silently stopped recording at the cap instead —
+keeping the tail is almost always what post-mortem analysis wants, and
+the ``dropped`` counter stays an exact count of what was lost.
 
+The recorder can also forward every event to a structured
+:class:`~repro.obs.events.EventSink`, which adds monotonic sequence
+numbers and JSONL/CSV export — the substrate behind the CLI's
+``run --trace-out FILE``::
+
+    from repro.obs.events import EventSink
+
+    sink = EventSink()
     machine = Machine(config, policy="dyn-lru")
-    with TraceRecorder(machine, kinds={"fault", "pageout"}) as trace:
+    with TraceRecorder(machine, kinds={"fault", "pageout"},
+                       sink=sink) as trace:
         machine.run(workload)
-    for event in trace.events[:10]:
-        print(event)
+    sink.write_jsonl("trace.jsonl")
 
-Events are plain namedtuples; ``summary()`` aggregates them and
-``to_csv()`` renders them for offline analysis.
+Events are plain namedtuples in memory; ``summary()`` aggregates them
+and ``to_csv()`` renders them for offline analysis.
 """
 
 from __future__ import annotations
 
-from collections import Counter, namedtuple
+from collections import Counter, deque, namedtuple
 
 AccessEvent = namedtuple(
     "AccessEvent", "time cpu vaddr write latency")
@@ -35,21 +48,37 @@ MigrateEvent = namedtuple(
 
 KINDS = ("access", "fault", "pageout", "promote", "migrate")
 
+#: Structured-event kind for each in-memory event type (the sink's
+#: schema field names match the namedtuple fields).
+_KIND_OF = {
+    AccessEvent: "access",
+    FaultEvent: "fault",
+    PageOutEvent: "pageout",
+    PromoteEvent: "promote",
+    MigrateEvent: "migrate",
+}
 
 class TraceRecorder:
     """Records machine events while active (use as a context manager)."""
 
     def __init__(self, machine, kinds: "set[str] | None" = None,
-                 max_events: int = 1_000_000) -> None:
+                 max_events: int = 1_000_000, sink=None) -> None:
         unknown = (set(kinds) - set(KINDS)) if kinds else set()
         if unknown:
             raise ValueError("unknown trace kinds: %s" % sorted(unknown))
         self.machine = machine
         self.kinds = set(kinds) if kinds is not None else set(KINDS)
         self.max_events = max_events
-        self.events: "list[tuple]" = []
+        self.sink = sink
+        self._events: "deque[tuple]" = deque(maxlen=max_events)
         self.dropped = 0
         self._saved: "list[tuple]" = []
+
+    @property
+    def events(self) -> "list[tuple]":
+        """The retained events, oldest first (the most recent
+        ``max_events`` of the run)."""
+        return list(self._events)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -97,16 +126,17 @@ class TraceRecorder:
         setattr(owner, name, wrapper)
 
     def _record(self, event) -> None:
-        if len(self.events) >= self.max_events:
+        if len(self._events) == self.max_events:
             self.dropped += 1
-            return
-        self.events.append(event)
+        self._events.append(event)
+        if self.sink is not None:
+            self.sink.emit(_KIND_OF[type(event)], **event._asdict())
 
     # -- hooks ---------------------------------------------------------------
 
     def _on_access(self, _machine, _orig, args, _kwargs, result) -> None:
         cpu, vaddr, is_write, now = args
-        self._record(AccessEvent(now, cpu.cpu_id, vaddr, is_write,
+        self._record(AccessEvent(now, cpu.cpu_id, vaddr, bool(is_write),
                                  result - now))
 
     def _on_fault(self, kernel, _orig, args, _kwargs, result) -> None:
@@ -124,7 +154,8 @@ class TraceRecorder:
         frame = args[0]
         now = args[1]
         demote = kwargs.get("demote", args[2] if len(args) > 2 else False)
-        self._record(PageOutEvent(now, kernel.node.node_id, frame, demote))
+        self._record(PageOutEvent(now, kernel.node.node_id, frame,
+                                  bool(demote)))
 
     def _on_migrate(self, migration, _orig, args, _kwargs, _result) -> None:
         gpage, new_home = args
@@ -133,14 +164,14 @@ class TraceRecorder:
     # -- reporting -----------------------------------------------------------
 
     def summary(self) -> "dict[str, int]":
-        """Event counts by type (plus the dropped count)."""
-        counts = Counter(type(event).__name__ for event in self.events)
+        """Retained-event counts by type (plus the dropped count)."""
+        counts = Counter(type(event).__name__ for event in self._events)
         counts["dropped"] = self.dropped
         return dict(counts)
 
     def accesses(self) -> "list[AccessEvent]":
         """Just the access events, in order."""
-        return [e for e in self.events if isinstance(e, AccessEvent)]
+        return [e for e in self._events if isinstance(e, AccessEvent)]
 
     def latency_histogram(self, buckets=(2, 15, 100, 700, 2500)) -> "dict[str, int]":
         """Bucket access latencies (cycles): hits, L2, local, remote,
@@ -157,10 +188,10 @@ class TraceRecorder:
         return hist
 
     def to_csv(self) -> str:
-        """All events as CSV (one section per event type)."""
+        """All retained events as CSV (one section per event type)."""
         lines = []
         by_type: "dict[str, list]" = {}
-        for event in self.events:
+        for event in self._events:
             by_type.setdefault(type(event).__name__, []).append(event)
         for name in sorted(by_type):
             events = by_type[name]

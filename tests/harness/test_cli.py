@@ -41,6 +41,49 @@ def test_run_caches_result(tmp_path, capsys):
     assert warm.replace(" [cached]", "") == cold
 
 
+def test_run_trace_and_metrics_out(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    assert main(["run", "fft", "--preset", "tiny", "--no-cache",
+                 "--trace-out", str(trace),
+                 "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "execution_cycles" in out
+    assert "wrote" in out
+    from repro.obs import validate_jsonl
+    assert validate_jsonl(str(trace)) > 0
+    import json
+    snap = json.load(metrics.open())
+    assert snap["fft/scoma"]["histograms"]
+
+
+def test_run_output_identical_with_and_without_flags(tmp_path, capsys):
+    base_args = ["run", "fft", "--preset", "tiny", "--no-cache"]
+    assert main(base_args) == 0
+    plain = capsys.readouterr().out
+    assert main(base_args + ["--trace-out",
+                             str(tmp_path / "t.jsonl")]) == 0
+    traced = capsys.readouterr().out
+    # Stats block unchanged; only the trailing "wrote ..." line differs.
+    assert traced.startswith(plain)
+
+
+def test_metrics_command(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["metrics", "fft", "--preset", "tiny",
+                 "--policy", "scoma", "--policy", "dyn-lru",
+                 "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "fft / scoma" in out and "fft / dyn-lru" in out
+    assert "access latency (cycles)" in out
+    assert "client_scoma_peak" in out
+    assert "Per-cell telemetry" in out
+    # Second invocation is served from the snapshots cached by the first.
+    assert main(["metrics", "fft", "--preset", "tiny",
+                 "--policy", "scoma", "--cache-dir", cache]) == 0
+    assert "Per-cell telemetry" in capsys.readouterr().out
+
+
 def test_microbench_command(capsys):
     assert main(["microbench"]) == 0
     out = capsys.readouterr().out

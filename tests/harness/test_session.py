@@ -126,6 +126,63 @@ class TestResultCache:
         assert (fresh.cache_hits, fresh.cache_misses) == (0, 1)
 
 
+class TestMetricsCollection:
+    def test_collect_metrics_attaches_snapshot(self):
+        result = Session(collect_metrics=True).run(spec())
+        assert result.metrics is not None
+        assert result.metrics["schema"] == 1
+        hist = result.metrics["histograms"][
+            "sim.access_latency_cycles{policy=scoma}"]
+        assert hist["count"] == result.stats.references
+
+    def test_metrics_do_not_change_stats_or_cache_key(self):
+        plain = Session().run(spec())
+        metered = Session(collect_metrics=True).run(spec())
+        assert metered.stats.to_dict() == plain.stats.to_dict()
+        assert plain.metrics is None
+
+    def test_metrics_ride_along_in_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        Session(cache_dir=cache_dir, collect_metrics=True).run(spec())
+        warm = Session(cache_dir=cache_dir)
+        result = warm.run(spec())
+        assert warm.cache_hits == 1
+        assert result.metrics is not None      # snapshot came from disk
+        # Entries stored without metrics stay valid, just snapshot-less.
+        other = Session(cache_dir=cache_dir).run(spec(policy="lanuma"))
+        assert other.metrics is None
+        again = Session(cache_dir=cache_dir).run(spec(policy="lanuma"))
+        assert again.metrics is None
+
+    def test_run_instrumented_traces_and_stores(self, tmp_path):
+        from repro.obs import EventSink, validate_event
+        cache_dir = str(tmp_path / "cache")
+        session = Session(cache_dir=cache_dir)
+        sink = EventSink()
+        result = session.run_instrumented(spec(), sink=sink)
+        assert result.metrics is not None
+        assert sink.emitted > 0
+        for event in sink.events[:50]:
+            validate_event(event)
+        # Identical to an uninstrumented run, and cached for next time.
+        assert result.stats.to_dict() == execute_spec(spec()).stats.to_dict()
+        warm = Session(cache_dir=cache_dir).run(spec())
+        assert warm.metrics is not None
+
+    def test_parallel_metrics_match_sequential(self):
+        def deterministic(snapshot):
+            # Everything but the wall-clock timer family is a pure
+            # function of the simulation and must match across runs.
+            return {section: {k: v for k, v in members.items()
+                              if not k.startswith("harness.")}
+                    for section, members in snapshot.items()
+                    if isinstance(members, dict)}
+
+        seq = Session(collect_metrics=True).run(spec())
+        par = Session(jobs=2, collect_metrics=True).run_suite([spec()])[0]
+        assert deterministic(par.metrics) == deterministic(seq.metrics)
+
+
 class TestDeprecatedWrappers:
     def test_run_one_warns_and_still_works(self):
         with pytest.warns(DeprecationWarning, match="run_one"):
@@ -162,6 +219,19 @@ class TestProgress:
         session.run(spec())
         assert capsys.readouterr().out == ""
         assert session.progress.done == 1
+
+    def test_summary_reports_result_cache_counters(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        Session(cache_dir=cache_dir).run(spec())
+        session = Session(cache_dir=cache_dir,
+                          progress=CampaignProgress(enabled=False))
+        session.run_suite([spec(), spec(policy="lanuma")])
+        assert "[result cache: 1 hits, 1 misses]" in session.progress.summary()
+
+    def test_summary_omits_cache_counters_without_cache(self):
+        session = Session(progress=CampaignProgress(enabled=False))
+        session.run(spec())
+        assert "result cache" not in session.progress.summary()
 
 
 @pytest.mark.parallel

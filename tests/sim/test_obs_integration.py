@@ -1,0 +1,94 @@
+"""Observability integration: zero overhead when disabled, identical
+results either way (the satellite acceptance checks for ``repro.obs``).
+"""
+
+import json
+import time
+
+from repro import obs
+from repro.harness.session import ExperimentSpec, execute_spec
+
+TINY = ExperimentSpec(workload="water-spa", policy="dyn-lru", preset="tiny")
+
+
+def stats_blob(result):
+    return json.dumps(result.stats.to_dict(), sort_keys=True)
+
+
+def test_stats_byte_identical_with_and_without_registry():
+    baseline = stats_blob(execute_spec(TINY))
+    with obs.collecting():
+        instrumented = stats_blob(execute_spec(TINY))
+    assert instrumented == baseline
+    # And disabled again afterwards (collecting() restored the None).
+    assert stats_blob(execute_spec(TINY)) == baseline
+
+
+def test_machine_resolves_no_handles_without_registry():
+    from repro.sim.machine import Machine
+    import repro
+    machine = Machine(repro.tiny_config(), policy="scoma")
+    assert machine._obs is None
+    assert machine._obs_access is None
+    kernel = machine.nodes[0].kernel
+    assert kernel._obs_fault is None
+    assert kernel._obs_pageout is None
+    controller = machine.nodes[0].controller
+    assert controller._obs_fetch is None
+
+
+def test_disabled_path_within_coarse_overhead_bound():
+    """The no-registry run must cost no more than 1.05x the collecting
+    run: collection does a strict superset of the disabled path's work,
+    so this coarsely bounds the no-op overhead without needing a
+    pre-instrumentation binary to compare against."""
+    def timed(n, enabled):
+        samples = []
+        for _ in range(n):
+            start = time.perf_counter()
+            if enabled:
+                with obs.collecting():
+                    execute_spec(TINY)
+            else:
+                execute_spec(TINY)
+            samples.append(time.perf_counter() - start)
+        return sorted(samples)[n // 2]
+
+    timed(1, False)                      # warm caches/imports
+    disabled = timed(3, False)
+    enabled = timed(3, True)
+    assert disabled <= enabled * 1.05, (
+        "disabled run (%.4fs) slower than instrumented run (%.4fs)"
+        % (disabled, enabled))
+
+
+def test_collected_metrics_cover_all_three_layers():
+    with obs.collecting() as registry:
+        execute_spec(TINY)
+    snap = registry.to_dict()
+    families = set()
+    for section in ("counters", "gauges", "histograms", "series"):
+        for key in snap[section]:
+            families.add(key.split("{")[0])
+    # Simulator, coherence core and kernel must all report.
+    assert "sim.access_latency_cycles" in families
+    assert "sim.resource_utilization" in families
+    assert "core.protocol_messages" in families
+    assert "core.pit_fast_ratio" in families
+    assert "kernel.fault_service_cycles" in families
+    assert "kernel.frame_pool.real_in_use" in families
+
+
+def test_cache_full_actions_counted_for_capped_policy():
+    import repro
+    spec = ExperimentSpec(workload="water-spa", policy="dyn-lru",
+                          preset="tiny",
+                          config=repro.tiny_config(page_cache_frames=3))
+    with obs.collecting() as registry:
+        result = execute_spec(spec)
+    snap = registry.to_dict()
+    demotes = snap["counters"].get(
+        "core.cache_full_actions{action=demote,policy=dyn-lru}", 0)
+    assert demotes == sum(n.mode_demotions for n in result.stats.nodes)
+    pageouts = snap["counters"].get("kernel.page_outs{demote=true}", 0)
+    assert pageouts == demotes

@@ -56,6 +56,36 @@ def test_to_dict_round_trips_through_json_and_pickle():
     assert via_pickle.to_dict() == stats.to_dict()
 
 
+def test_round_trip_covers_every_counter_field():
+    """Exhaustive to_dict/from_dict round trip: every field of every
+    stats dataclass gets a unique value, so a field added to NodeStats /
+    CpuStats / MachineStats but forgotten in the serializers fails here
+    instead of silently zeroing in the result cache."""
+    import dataclasses
+    import json
+
+    stats = MachineStats(nodes=[NodeStats(0), NodeStats(1)],
+                         cpus=[CpuStats(0), CpuStats(1)])
+    value = 1
+    for holder in stats.nodes + stats.cpus + [stats]:
+        for f in dataclasses.fields(holder):
+            if f.name in ("nodes", "cpus"):
+                continue
+            current = getattr(holder, f.name)
+            setattr(holder, f.name,
+                    value + 0.5 if isinstance(current, float) else value)
+            value += 1
+
+    back = MachineStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert back.to_dict() == stats.to_dict()
+    for ours, theirs in zip(stats.nodes + stats.cpus + [stats],
+                            back.nodes + back.cpus + [back]):
+        for f in dataclasses.fields(ours):
+            if f.name in ("nodes", "cpus"):
+                continue
+            assert getattr(theirs, f.name) == getattr(ours, f.name), f.name
+
+
 def test_summary_is_flat_and_rounded():
     stats = MachineStats(nodes=[NodeStats(0)], cpus=[CpuStats(0)])
     stats.execution_cycles = 1000

@@ -71,6 +71,36 @@ def test_max_events_drops_excess():
     assert trace.dropped > 0
 
 
+def test_ring_buffer_keeps_newest_events():
+    # The capped recorder's window must be the *tail* of the full
+    # trace, and dropped must account exactly for the rest.
+    full = run_traced(kinds={"access"})[1]
+    cfg = repro.tiny_config()
+    machine = Machine(cfg, policy="scoma")
+    with TraceRecorder(machine, kinds={"access"}, max_events=10) as trace:
+        machine.run(make_workload("water-spa", "tiny"))
+    assert trace.events == full.events[-10:]
+    assert trace.dropped == len(full.events) - 10
+
+
+def test_sink_forwarding_produces_schema_valid_events():
+    from repro.obs.events import EventSink, validate_event
+
+    cfg = repro.tiny_config(page_cache_frames=3)
+    machine = Machine(cfg, policy="dyn-lru")
+    sink = EventSink()
+    with TraceRecorder(machine, sink=sink) as trace:
+        machine.run(make_workload("water-spa", "tiny"))
+    assert sink.emitted == len(trace.events) + trace.dropped
+    kinds = set()
+    for event in sink.events:
+        validate_event(event)
+        kinds.add(event["kind"])
+    assert {"access", "fault", "pageout"} <= kinds
+    seqs = [e["seq"] for e in sink.events]
+    assert seqs == sorted(seqs)
+
+
 def test_latency_histogram_covers_all_accesses():
     _, trace = run_traced(kinds={"access"})
     hist = trace.latency_histogram()

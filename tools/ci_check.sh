@@ -39,4 +39,28 @@ if ! grep -q 'cached' "$workdir/warm.txt"; then
     echo "FAIL: warm run did not hit the result cache" >&2
     exit 1
 fi
+
+echo "== observability smoke test =="
+python -m repro run fft --preset tiny --no-cache \
+    --trace-out "$workdir/trace.jsonl" \
+    --metrics-out "$workdir/metrics.json" > /dev/null
+python - "$workdir" <<'EOF'
+import json
+import sys
+
+workdir = sys.argv[1]
+from repro.obs import validate_jsonl
+
+events = validate_jsonl(workdir + "/trace.jsonl")
+assert events > 0, "trace.jsonl is empty"
+
+snapshot = json.load(open(workdir + "/metrics.json"))
+cell = snapshot["fft/scoma"]
+assert cell is not None, "metrics.json has no snapshot for the cell"
+families = sum(len(cell[s]) for s in
+               ("counters", "gauges", "histograms", "series"))
+assert families > 0, "metrics snapshot is empty"
+print("observability smoke: %d events, %d metric families OK"
+      % (events, families))
+EOF
 echo "ci_check: OK"

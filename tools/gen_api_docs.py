@@ -93,6 +93,52 @@ suites = session.run_campaign(("fft", "lu"), preset="small")
 * **CLI** — `python -m repro run|suite|evaluate` accept `--jobs N`,
   `--cache-dir DIR` (default `.prism-cache`) and `--no-cache`.
 
+## Observability
+
+`repro.obs` is the unified observability layer: a metrics registry
+(counters, gauges, log-bucket latency histograms, bounded utilization
+time series, all organized as labeled families like
+`core.protocol_messages{kind=READ_REQ,node=3}`) plus a structured-event
+sink with JSONL/CSV export.  Both are strictly opt-in — with no registry
+installed, the instrumentation helpers return shared no-op objects and
+the simulator's pre-resolved handles stay `None`, so the hot path pays
+one pointer test and results are byte-identical either way.
+
+```python
+from repro import obs
+
+with obs.collecting() as registry:
+    machine.run(workload)
+snapshot = registry.to_dict()          # JSON-safe, stable key order
+```
+
+* **Instrumented layers** — the simulator (access-latency histograms
+  per policy, per-epoch resource-utilization series), the coherence
+  core (protocol message mix, fetch latencies, cache-full decisions,
+  migrations, PIT fast-lookup ratios) and the kernel (fault-service
+  timers by fault kind, page-out counters, frame-pool gauges).
+* **Campaign telemetry** — `Session(collect_metrics=True)` snapshots a
+  fresh registry around every simulated cell; the snapshot lands on
+  `RunResult.metrics` and rides along in the result cache (it is *not*
+  part of the cache key).  `Session.run_instrumented(spec, sink=...)`
+  runs one cell in-process with metrics and, optionally, a structured
+  event trace.  Render with `repro.harness.tables.metrics_table` or
+  export with `repro.harness.export.save_metrics` (`metrics.json`).
+* **Structured events** — `repro.obs.events.EventSink` ring-buffers
+  typed events (`access`, `fault`, `pageout`, `promote`, `migrate` per
+  `EVENT_SCHEMA`) with monotonic sequence numbers that survive drops;
+  `validate_jsonl()` checks an exported trace end to end.  The
+  `repro.sim.trace.TraceRecorder` forwards its machine hooks to a sink
+  when constructed with one.
+* **CLI** — `repro run ... --trace-out FILE` writes a schema-valid
+  JSONL trace, `--metrics-out FILE` a metrics snapshot; `repro
+  metrics <workload> --policy P` prints per-policy latency histograms,
+  frame-pool occupancy and a per-cell telemetry table from cached
+  snapshots (re-simulating, then caching, cells that lack one);
+  `--metrics` on `run`/`suite`/`evaluate` collects snapshots
+  campaign-wide.  The end-of-campaign summary line reports result-cache
+  hit/miss counters.
+
 ### Deprecation path
 
 The free functions `run_one(...)`, `run_suite(...)` and
