@@ -68,6 +68,12 @@ class CoherenceController:
         self.lat = machine.config.latency
         self.lpp = machine.config.lines_per_page
         self.resource = Resource("node%d.ctrl" % node.node_id)
+        # Hoisted latency components for the per-transaction paths.
+        lat = self.lat
+        self._lat_dispatch = lat.ctrl_dispatch
+        self._lat_dispatch_pit = lat.ctrl_dispatch + lat.pit_access
+        self._ni_occ = machine.network.NI_OCCUPANCY
+        self._net_flight = lat.net_latency - self._ni_occ
         # Pre-resolved observability handles (None when disabled, so the
         # protocol paths pay one attribute test each).
         registry = obs.current()
@@ -105,10 +111,14 @@ class CoherenceController:
         # CC-NUMA frames bypass the PIT: the physical address directly
         # identifies the memory location at the home (section 3.2).
         pit_free = entry.mode == PageMode.CCNUMA
-        if pit_free:
-            t = self.resource.acquire(now, lat.ctrl_dispatch)
-        else:
-            t = self.resource.acquire(now, lat.ctrl_dispatch + lat.pit_access)
+        res = self.resource
+        occ = self._lat_dispatch if pit_free else self._lat_dispatch_pit
+        start = res.next_free if res.next_free > now else now
+        t = start + occ
+        res.next_free = t
+        res.busy_cycles += occ
+        res.acquisitions += 1
+        if not pit_free:
             node.pit.lookups += 1
         if has_copy:
             kind = MessageKind.UPGRADE_REQ
@@ -116,17 +126,32 @@ class CoherenceController:
             kind = MessageKind.READ_EXCL_REQ
         else:
             kind = MessageKind.READ_REQ
-        node.msglog.record(kind)
+        sent = node.msglog.sent
+        sent[kind] = sent.get(kind, 0) + 1
 
         # Route to the home, following (possibly stale) dynamic-home
         # info; misdirected requests bounce via the static home
         # (section 3.5).
         home_id = entry.dynamic_home
-        true_home = machine.dynamic_home_of(gpage)
+        true_home = machine.migration.dynamic_home.get(gpage)
+        if true_home is None:
+            true_home = machine.static_home_of(gpage)
         if true_home in machine.failed_nodes:
             raise NodeFailedError(
                 "gpage %d is homed at failed node %d" % (gpage, true_home))
-        t = machine.network.send(node.node_id, home_id, t)
+        # Network.send inlined (same NI occupancy + flight arithmetic).
+        network = machine.network
+        node_id = node.node_id
+        if home_id != node_id:
+            network.messages += 1
+            network.hops_charged += 1
+            ni = network.interfaces[node_id]
+            start = ni.next_free if ni.next_free > t else t
+            injected = start + self._ni_occ
+            ni.next_free = injected
+            ni.busy_cycles += self._ni_occ
+            ni.acquisitions += 1
+            t = injected + self._net_flight
         if home_id != true_home:
             t = self._reroute(entry, home_id, true_home, t)
             home_id = true_home
@@ -144,9 +169,24 @@ class CoherenceController:
             entry.home_frame = dir_page.home_frame
         entry.dynamic_home = home_id
 
-        # Response flight + client-side completion.
-        t = machine.network.send(sender_id, node.node_id, t)
-        t = self.resource.acquire(t, lat.ctrl_dispatch)
+        # Response flight + client-side completion (send, dispatch and
+        # data phase inlined as in the request path).
+        if sender_id != node_id:
+            network.messages += 1
+            network.hops_charged += 1
+            ni = network.interfaces[sender_id]
+            start = ni.next_free if ni.next_free > t else t
+            injected = start + self._ni_occ
+            ni.next_free = injected
+            ni.busy_cycles += self._ni_occ
+            ni.acquisitions += 1
+            t = injected + self._net_flight
+        occ = self._lat_dispatch
+        start = res.next_free if res.next_free > t else t
+        t = start + occ
+        res.next_free = t
+        res.busy_cycles += occ
+        res.acquisitions += 1
         t = node.bus.transfer(t)
         t += lat.cache_fill
 
@@ -205,7 +245,13 @@ class CoherenceController:
         """
         lat = self.lat
         node = self.node
-        t = self.resource.acquire(arrival, lat.ctrl_dispatch)
+        res = self.resource
+        occ = self._lat_dispatch
+        start = res.next_free if res.next_free > arrival else arrival
+        t = start + occ
+        res.next_free = t
+        res.busy_cycles += occ
+        res.acquisitions += 1
 
         entry = node.pit.by_gpage(gpage, frame_guess)
         if entry is None:
@@ -237,7 +283,9 @@ class CoherenceController:
         hit = node.directory.cache.access(gpage, lip)
         t += lat.dir_cache_hit if hit else lat.dir_cache_miss
         dir_page.remote_refs += 1
-        self.machine.migration.note_request(gpage, requester, dir_page)
+        migration = self.machine.migration
+        if migration.enabled:
+            migration.note_request(gpage, requester, dir_page)
 
         home_tags = entry.tags
         home_line = entry.frame * self.lpp + lip

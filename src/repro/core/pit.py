@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.finegrain import FineGrainTags, Tag
 from repro.core.modes import PageMode
+from repro.kernel.frames import IMAGINARY_BASE
 
 
 @dataclass
@@ -62,8 +63,26 @@ class PageInformationTable:
         self.lines_per_page = lines_per_page
         self._by_frame: "dict[int, PitEntry]" = {}
         self._by_gpage: "dict[int, int]" = {}   # the "hash table"
+        # Dense frame -> entry tables mirroring _by_frame, one per frame
+        # number range (real frames count from 0, imaginary frames from
+        # IMAGINARY_BASE).  The simulator's per-reference paths resolve
+        # frames with a single list index here; the modeled
+        # pit_access/pit_hash latencies are charged by the callers as
+        # before — this is host-speed bookkeeping only.
+        self.dense_real: "list[PitEntry | None]" = []
+        self.dense_imag: "list[PitEntry | None]" = []
         self.lookups = 0
         self.hash_lookups = 0
+
+    def _dense_set(self, frame: int, entry: "PitEntry | None") -> None:
+        if frame < IMAGINARY_BASE:
+            dense = self.dense_real
+        else:
+            dense = self.dense_imag
+            frame -= IMAGINARY_BASE
+        if frame >= len(dense):
+            dense.extend([None] * (frame + 1 - len(dense)))
+        dense[frame] = entry
 
     # -- installation / removal ----------------------------------------
 
@@ -86,6 +105,7 @@ class PageInformationTable:
                          dynamic_home=dynamic_home, home_frame=home_frame,
                          mode=mode, tags=tags)
         self._by_frame[frame] = entry
+        self._dense_set(frame, entry)
         if mode.is_global:
             if gpage in self._by_gpage:
                 raise KeyError("gpage %d already mapped at node %d"
@@ -96,6 +116,7 @@ class PageInformationTable:
     def remove(self, frame: int) -> PitEntry:
         """Remove a translation (page-out / demotion)."""
         entry = self._by_frame.pop(frame)
+        self._dense_set(frame, None)
         if entry.mode.is_global:
             self._by_gpage.pop(entry.gpage, None)
         return entry
@@ -129,7 +150,12 @@ class PageInformationTable:
     def entry_or_none(self, frame: int) -> "PitEntry | None":
         """Forward lookup without charging a statistics lookup (used by
         bookkeeping paths that model no hardware access)."""
-        return self._by_frame.get(frame)
+        if frame < IMAGINARY_BASE:
+            dense = self.dense_real
+        else:
+            dense = self.dense_imag
+            frame -= IMAGINARY_BASE
+        return dense[frame] if frame < len(dense) else None
 
     def entry_for_gpage(self, gpage: int) -> "PitEntry | None":
         """Reverse lookup without charging a statistics lookup (used by

@@ -295,6 +295,14 @@ def _print_metrics_detail(result) -> None:
         if members:
             print("    %-22s %s"
                   % (pool, " ".join(str(v) for _l, v in members)))
+    # Host-side throughput published by Machine.run (simulated telemetry
+    # above, simulator speed below — stale for snapshots from the result
+    # cache, which report the wall clock of the run that produced them).
+    rps = find_metrics(snap["gauges"], "host.refs_per_sec")
+    wall = find_metrics(snap["gauges"], "host.wall_seconds")
+    if rps and wall:
+        print("  host throughput: %.0f refs/s (%.3fs wall)"
+              % (rps[0][1], wall[0][1]))
 
 
 def cmd_list(_args) -> int:

@@ -32,35 +32,48 @@ class LineState(IntEnum):
     MODIFIED = 3
 
 
-class Cache:
-    """One level of set-associative, LRU, write-back cache."""
+_MODIFIED = LineState.MODIFIED
 
-    __slots__ = ("num_sets", "associativity", "_sets", "hits", "misses",
-                 "evictions")
+
+class Cache:
+    """One level of set-associative, LRU, write-back cache.
+
+    Alongside the per-set LRU maps the cache keeps ``flat``, a single
+    ``line -> state`` dict over every resident line.  ``flat`` carries
+    no LRU information — the per-set OrderedDicts remain authoritative
+    for replacement — but it lets the simulator's front-line fast path
+    resolve the dominant hit case with one dict probe instead of a
+    method-call chain, and it makes :meth:`peek`/``in`` O(1) without a
+    set-index computation.
+    """
+
+    __slots__ = ("num_sets", "associativity", "_sets", "flat", "hits",
+                 "misses", "evictions")
 
     def __init__(self, cfg: CacheConfig) -> None:
         self.num_sets = cfg.num_sets
         self.associativity = cfg.associativity
         self._sets: "list[OrderedDict[int, LineState]]" = [
             OrderedDict() for _ in range(self.num_sets)]
+        #: line -> state mirror of every resident line (all sets).
+        self.flat: "dict[int, LineState]" = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def lookup(self, line: int) -> LineState:
         """State of ``line``; touches LRU on hit."""
-        cache_set = self._sets[line % self.num_sets]
-        state = cache_set.get(line)
+        state = self.flat.get(line)
         if state is None:
             self.misses += 1
             return LineState.INVALID
-        cache_set.move_to_end(line)
+        self._sets[line % self.num_sets].move_to_end(line)
         self.hits += 1
         return state
 
     def peek(self, line: int) -> LineState:
         """State of ``line`` without touching LRU or hit counters."""
-        return self._sets[line % self.num_sets].get(line, LineState.INVALID)
+        return self.flat.get(line, LineState.INVALID)
 
     def insert(self, line: int, state: LineState) -> "tuple[int, LineState] | None":
         """Insert ``line`` (must not be present); returns the evicted
@@ -69,8 +82,10 @@ class Cache:
         victim = None
         if len(cache_set) >= self.associativity:
             victim = cache_set.popitem(last=False)
+            del self.flat[victim[0]]
             self.evictions += 1
         cache_set[line] = state
+        self.flat[line] = state
         return victim
 
     def set_state(self, line: int, state: LineState) -> None:
@@ -79,20 +94,25 @@ class Cache:
         if line not in cache_set:
             raise KeyError("line %d not resident" % line)
         cache_set[line] = state
+        self.flat[line] = state
 
     def remove(self, line: int) -> LineState:
         """Remove ``line``; returns its previous state (INVALID if absent)."""
-        return self._sets[line % self.num_sets].pop(line, LineState.INVALID)
+        state = self.flat.pop(line, None)
+        if state is None:
+            return LineState.INVALID
+        del self._sets[line % self.num_sets][line]
+        return state
 
     def resident_lines(self) -> "list[int]":
         """Every line currently resident (all sets)."""
         return [line for cache_set in self._sets for line in cache_set]
 
     def __contains__(self, line: int) -> bool:
-        return line in self._sets[line % self.num_sets]
+        return line in self.flat
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return len(self.flat)
 
 
 class NodePresence:
@@ -170,11 +190,20 @@ class CacheHierarchy:
         state = self.l1.lookup(line)
         if state != LineState.INVALID:
             return "l1", state
-        state = self.l2.lookup(line)
+        state = self.probe_l2(line)
         if state == LineState.INVALID:
             return "miss", LineState.INVALID
-        self._promote_to_l1(line, state)
         return "l2", state
+
+    def probe_l2(self, line: int) -> LineState:
+        """The L2 half of :meth:`probe`, for callers that already
+        resolved the L1 miss against ``l1.flat``: looks ``line`` up in
+        L2 and promotes a hit into L1.  Returns the line state
+        (INVALID on a full miss)."""
+        state = self.l2.lookup(line)
+        if state != LineState.INVALID:
+            self._promote_to_l1(line, state)
+        return state
 
     def state(self, line: int) -> LineState:
         """Machine-visible state of ``line`` in this hierarchy."""
@@ -191,21 +220,34 @@ class CacheHierarchy:
         Returns the list of lines this CPU *lost* as ``(line, state)``
         pairs — L2 victims (with their merged L1 dirtiness) that the
         node must write back (if MODIFIED) and deregister.
+
+        Both inserts are :meth:`Cache.insert` spelled out inline (same
+        LRU replacement, same eviction counters) — fill runs once per
+        miss and the call overhead was measurable.
         """
         lost: "list[tuple[int, LineState]]" = []
-        victim = self.l2.insert(line, state)
-        if victim is not None:
-            vline, vstate = victim
-            l1_state = self.l1.remove(vline)  # inclusion
-            if l1_state == LineState.MODIFIED:
-                vstate = LineState.MODIFIED
+        l1, l2 = self.l1, self.l2
+        cache_set = l2._sets[line % l2.num_sets]
+        if len(cache_set) >= l2.associativity:
+            vline, vstate = cache_set.popitem(last=False)
+            del l2.flat[vline]
+            l2.evictions += 1
+            l1_state = l1.remove(vline)  # inclusion
+            if l1_state == _MODIFIED:
+                vstate = _MODIFIED
             lost.append((vline, vstate))
-        l1_victim = self.l1.insert(line, state)
-        if l1_victim is not None:
-            vline, vstate = l1_victim
+        cache_set[line] = state
+        l2.flat[line] = state
+        cache_set = l1._sets[line % l1.num_sets]
+        if len(cache_set) >= l1.associativity:
+            vline, vstate = cache_set.popitem(last=False)
+            del l1.flat[vline]
+            l1.evictions += 1
             # Inclusion: L2 still holds the line; merge dirtiness down.
-            if vstate == LineState.MODIFIED:
-                self.l2.set_state(vline, LineState.MODIFIED)
+            if vstate == _MODIFIED:
+                l2.set_state(vline, _MODIFIED)
+        cache_set[line] = state
+        l1.flat[line] = state
         return lost
 
     def write_hit(self, line: int) -> None:
@@ -239,8 +281,15 @@ class CacheHierarchy:
         return dirty
 
     def _promote_to_l1(self, line: int, state: LineState) -> None:
-        victim = self.l1.insert(line, state)
-        if victim is not None:
-            vline, vstate = victim
-            if vstate == LineState.MODIFIED:
-                self.l2.set_state(vline, LineState.MODIFIED)
+        # Cache.insert inlined (same replacement and counters): this
+        # runs on every L2 hit.
+        l1 = self.l1
+        cache_set = l1._sets[line % l1.num_sets]
+        if len(cache_set) >= l1.associativity:
+            vline, vstate = cache_set.popitem(last=False)
+            del l1.flat[vline]
+            l1.evictions += 1
+            if vstate == _MODIFIED:
+                self.l2.set_state(vline, _MODIFIED)
+        cache_set[line] = state
+        l1.flat[line] = state

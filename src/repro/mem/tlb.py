@@ -13,9 +13,20 @@ from collections import OrderedDict
 
 
 class Tlb:
-    """Fully-associative LRU TLB of ``entries`` translations."""
+    """Fully-associative LRU TLB of ``entries`` translations.
 
-    __slots__ = ("entries", "_map", "hits", "misses")
+    ``last_vpage``/``last_frame`` memoize the most recent translation
+    as plain attributes, so the simulator's reference loop resolves the
+    dominant same-page case without a method call.  The memo is only
+    ever a copy of the MRU entry: :meth:`lookup`/:meth:`insert` refresh
+    it and :meth:`invalidate`/:meth:`flush` clear it, so consulting it
+    is indistinguishable (including final LRU order) from calling
+    :meth:`lookup` — callers that use it must bump :attr:`hits`
+    themselves.
+    """
+
+    __slots__ = ("entries", "_map", "hits", "misses",
+                 "last_vpage", "last_frame")
 
     def __init__(self, entries: int) -> None:
         if entries < 1:
@@ -24,6 +35,8 @@ class Tlb:
         self._map: "OrderedDict[int, int]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.last_vpage = -1
+        self.last_frame = -1
 
     def lookup(self, vpage: int) -> "int | None":
         """Frame backing ``vpage``, or ``None`` on a TLB miss."""
@@ -33,6 +46,8 @@ class Tlb:
             return None
         self._map.move_to_end(vpage)
         self.hits += 1
+        self.last_vpage = vpage
+        self.last_frame = frame
         return frame
 
     def insert(self, vpage: int, frame: int) -> None:
@@ -40,15 +55,22 @@ class Tlb:
         if vpage in self._map:
             self._map.move_to_end(vpage)
         elif len(self._map) >= self.entries:
-            self._map.popitem(last=False)
+            evicted, _ = self._map.popitem(last=False)
+            if evicted == self.last_vpage:
+                self.last_vpage = -1
         self._map[vpage] = frame
+        self.last_vpage = vpage
+        self.last_frame = frame
 
     def invalidate(self, vpage: int) -> bool:
         """Drop the translation for ``vpage``; True if it was present."""
+        if vpage == self.last_vpage:
+            self.last_vpage = -1
         return self._map.pop(vpage, None) is not None
 
     def flush(self) -> None:
         """Drop every translation."""
+        self.last_vpage = -1
         self._map.clear()
 
     def __contains__(self, vpage: int) -> bool:

@@ -14,6 +14,7 @@ SPLASH-style kernels in pure Python.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -130,7 +131,9 @@ class LockTable:
     def __init__(self, cost: int = 0) -> None:
         self.cost = cost
         self._holder: "dict[int, int]" = {}
-        self._waiters: "dict[int, list[int]]" = {}
+        # FCFS waiter queues; deque so a contended handoff pops the
+        # head in O(1) instead of list.pop(0)'s O(n) shift.
+        self._waiters: "dict[int, deque[int]]" = {}
         self.acquires = 0
         self.contended_acquires = 0
 
@@ -141,7 +144,10 @@ class LockTable:
         is queued and will be woken by the holder's release).
         """
         if lock_id in self._holder:
-            self._waiters.setdefault(lock_id, []).append(cpu_id)
+            waiters = self._waiters.get(lock_id)
+            if waiters is None:
+                waiters = self._waiters[lock_id] = deque()
+            waiters.append(cpu_id)
             self.contended_acquires += 1
             return None
         self._holder[lock_id] = cpu_id
@@ -160,7 +166,7 @@ class LockTable:
                 "cpu %d releasing lock %d held by %r" % (cpu_id, lock_id, holder))
         waiters = self._waiters.get(lock_id)
         if waiters:
-            next_cpu = waiters.pop(0)
+            next_cpu = waiters.popleft()
             if not waiters:
                 del self._waiters[lock_id]
             self._holder[lock_id] = next_cpu

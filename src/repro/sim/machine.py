@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.controller import CoherenceController
 from repro.core.directory import Directory
@@ -34,15 +35,27 @@ from repro import obs
 from repro.sim.config import MachineConfig
 from repro.sim.engine import Barrier, LockTable, Resource, sample_utilization
 from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
-                           OP_UNLOCK, OP_WRITE)
+                           OP_READ_RUN, OP_UNLOCK, OP_WRITE, OP_WRITE_RUN)
 from repro.sim.stats import CpuStats, MachineStats, NodeStats
+
+# Hoisted line states and page modes: the reference fast path compares
+# against plain module globals instead of resolving enum attributes per
+# access.
+_INVALID = LineState.INVALID
+_SHARED = LineState.SHARED
+_EXCLUSIVE = LineState.EXCLUSIVE
+_MODIFIED = LineState.MODIFIED
+_SCOMA = PageMode.SCOMA
+_LANUMA = PageMode.LANUMA
+_CCNUMA = PageMode.CCNUMA
+_PM_LOCAL = PageMode.LOCAL
 
 
 class Cpu:
     """One simulated processor."""
 
     __slots__ = ("cpu_id", "local_id", "node", "hierarchy", "tlb", "stats",
-                 "time", "gen", "done")
+                 "time", "gen", "done", "run_state")
 
     def __init__(self, cpu_id: int, local_id: int, node: "Node",
                  config: MachineConfig) -> None:
@@ -55,6 +68,10 @@ class Cpu:
         self.time = 0
         self.gen = None
         self.done = False
+        #: Suspended block op: (is_write, next_addr, stride, remaining),
+        #: or None.  Set when a run op is preempted mid-run because the
+        #: CPU's clock passed another CPU's event time.
+        self.run_state = None
 
 
 class Node:
@@ -138,6 +155,18 @@ class Machine:
         self._line_shift = line.bit_length() - 1
         self._lpp = cfg.lines_per_page
         self._lip_mask = self._lpp - 1
+        # Hoisted hit latencies: the reference fast path reads these
+        # instead of chasing config.latency per access.
+        self._lat_l1_hit = lat.l1_hit
+        self._lat_l2_hit = lat.l2_hit
+        self._lat_tlb_miss = lat.tlb_miss
+        self._lat_bus_request = lat.bus_request
+        self._lat_bus_data = lat.bus_data
+        self._lat_intervention = lat.intervention
+        # DRAM port occupancy of a local miss service: the 36-cycle
+        # local-memory figure minus the bus phases charged separately.
+        self._lat_serve_mem = (lat.local_memory - lat.bus_request
+                               - lat.bus_data)
 
         self.network = Network(cfg.num_nodes, lat)
         self.ipc = GlobalIpcServer(cfg.num_nodes, cfg.page_bytes)
@@ -199,8 +228,16 @@ class Machine:
         self._ref_gap = getattr(workload, "cycles_per_ref", 3)
         for cpu in self.cpus:
             cpu.gen = workload.generator(cpu.cpu_id, len(self.cpus))
+        start = perf_counter()
         self._event_loop()
+        wall = perf_counter() - start
         self._finalize()
+        if self._obs is not None:
+            # Host-side throughput, next to the simulated telemetry:
+            # how fast the host chewed through this run's references.
+            self._obs.gauge("host.wall_seconds").set(round(wall, 6))
+            self._obs.gauge("host.refs_per_sec").set(
+                round(self.stats.references / wall, 1) if wall > 0 else 0.0)
         return RunResult(workload=workload.name, policy=self.policy.name,
                          config=self.config, stats=self.stats)
 
@@ -208,19 +245,34 @@ class Machine:
         heap = [(0, cpu.cpu_id) for cpu in self.cpus]
         heapq.heapify(heap)
         self._heap = heap
-        remaining = len(self.cpus)
+        cpus = self.cpus
+        run_cpu = self._run_cpu
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        remaining = len(cpus)
         while heap:
-            t, cid = heapq.heappop(heap)
-            cpu = self.cpus[cid]
+            t, cid = heappop(heap)
+            cpu = cpus[cid]
             if cpu.done:
                 continue
-            cpu.time = t if t > cpu.time else cpu.time
-            limit = heap[0][0] if heap else None
-            status = self._run_cpu(cpu, limit)
-            if status == "ready":
-                heapq.heappush(heap, (cpu.time, cid))
-            elif status == "done":
-                remaining -= 1
+            if t > cpu.time:
+                cpu.time = t
+            while True:
+                status = run_cpu(cpu, heap[0][0] if heap else None)
+                if status == "ready":
+                    # Hand off to the next runnable CPU with a single
+                    # heap sift (push + pop fused); with one runnable
+                    # CPU this bounces straight back without churn.
+                    t, cid = heappushpop(heap, (cpu.time, cid))
+                    cpu = cpus[cid]
+                    if cpu.done:
+                        break
+                    if t > cpu.time:
+                        cpu.time = t
+                    continue
+                if status == "done":
+                    remaining -= 1
+                break
         if remaining:
             stuck = [c.cpu_id for c in self.cpus if not c.done]
             raise RuntimeError(
@@ -241,7 +293,40 @@ class Machine:
         gen = cpu.gen
         time = cpu.time
         stats = cpu.stats
+        # Hot locals: bound methods and fields resolved once per entry
+        # instead of per reference.  self._access stays an attribute
+        # load here (not hoisted at construction) so TraceRecorder's
+        # instance-level wrapping keeps working.
+        access = self._access
+        ref_gap = self._ref_gap
+        obs_access = self._obs_access
+        run = cpu.run_state
         while limit is None or time <= limit:
+            if run is not None:
+                # Expand a block op inline: one generator resume bought
+                # `count` references; the limit check per reference
+                # keeps cross-CPU FCFS resource ordering exact.
+                is_write, addr, stride, count = run
+                while count:
+                    issued = time + ref_gap
+                    time = access(cpu, addr, is_write, issued)
+                    stats.references += 1
+                    if is_write:
+                        stats.writes += 1
+                    else:
+                        stats.reads += 1
+                    if obs_access is not None:
+                        obs_access.observe(time - issued)
+                    addr += stride
+                    count -= 1
+                    if limit is not None and time > limit:
+                        break
+                if count:
+                    cpu.run_state = (is_write, addr, stride, count)
+                    cpu.time = time
+                    return "ready"
+                run = cpu.run_state = None
+                continue
             op = next(gen, None)
             if op is None:
                 cpu.done = True
@@ -250,21 +335,27 @@ class Machine:
                 return "done"
             kind = op[0]
             if kind == OP_READ:
-                issued = time + self._ref_gap
-                time = self._access(cpu, op[1], False, issued)
+                issued = time + ref_gap
+                time = access(cpu, op[1], False, issued)
                 stats.references += 1
                 stats.reads += 1
-                if self._obs_access is not None:
-                    self._obs_access.observe(time - issued)
+                if obs_access is not None:
+                    obs_access.observe(time - issued)
             elif kind == OP_WRITE:
-                issued = time + self._ref_gap
-                time = self._access(cpu, op[1], True, issued)
+                issued = time + ref_gap
+                time = access(cpu, op[1], True, issued)
                 stats.references += 1
                 stats.writes += 1
-                if self._obs_access is not None:
-                    self._obs_access.observe(time - issued)
+                if obs_access is not None:
+                    obs_access.observe(time - issued)
             elif kind == OP_COMPUTE:
                 time += op[1]
+            elif kind == OP_READ_RUN:
+                if op[3] > 0:
+                    run = (False, op[1], op[2], op[3])
+            elif kind == OP_WRITE_RUN:
+                if op[3] > 0:
+                    run = (True, op[1], op[2], op[3])
             elif kind == OP_BARRIER:
                 stats.barrier_waits += 1
                 barrier = self._barriers.get(op[1])
@@ -304,49 +395,81 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _access(self, cpu: Cpu, vaddr: int, is_write: bool, now: int) -> int:
-        node = cpu.node
         vpage = vaddr >> self._page_shift
-        frame = cpu.tlb.lookup(vpage)
-        if frame is None:
-            kernel = node.kernel
-            frame = kernel.page_table.get(vpage)
-            if frame is None:
-                frame, now = kernel.fault(vpage, now)
+        tlb = cpu.tlb
+        if vpage == tlb.last_vpage:
+            # Front-line TLB memo: same page as the previous reference.
+            # The entry is already MRU, so skipping the LRU touch is
+            # exact; the hit is still counted.
+            frame = tlb.last_frame
+            tlb.hits += 1
+        else:
+            # Tlb.lookup spelled out inline (same LRU touch, counters
+            # and memo refresh) — one call less per new-page reference.
+            frame = tlb._map.get(vpage)
+            if frame is not None:
+                tlb._map.move_to_end(vpage)
+                tlb.hits += 1
+                tlb.last_vpage = vpage
+                tlb.last_frame = frame
             else:
-                now += self.config.latency.tlb_miss
-                cpu.stats.tlb_misses += 1
-            cpu.tlb.insert(vpage, frame)
+                tlb.misses += 1
+                kernel = cpu.node.kernel
+                frame = kernel.page_table.get(vpage)
+                if frame is None:
+                    frame, now = kernel.fault(vpage, now)
+                else:
+                    now += self._lat_tlb_miss
+                    cpu.stats.tlb_misses += 1
+                tlb.insert(vpage, frame)
         lip = (vaddr >> self._line_shift) & self._lip_mask
         line = frame * self._lpp + lip
 
-        level, state = cpu.hierarchy.probe(line)
-        if level == "l1":
+        # Front-line cache probe: one flat-dict lookup resolves the
+        # dominant L1-hit case; the per-set LRU touch and hit counter
+        # keep the replacement behaviour identical to Cache.lookup.
+        hierarchy = cpu.hierarchy
+        l1 = hierarchy.l1
+        state = l1.flat.get(line)
+        if state is not None:
+            l1._sets[line % l1.num_sets].move_to_end(line)
+            l1.hits += 1
             cpu.stats.l1_hits += 1
-            if is_write and state != LineState.MODIFIED:
-                if state == LineState.EXCLUSIVE:
-                    cpu.hierarchy.write_hit(line)
+            if is_write and state != _MODIFIED:
+                if state == _EXCLUSIVE:
+                    hierarchy.write_hit(line)
                 else:
                     return self._upgrade(cpu, frame, lip, line, now)
-            return now + self.config.latency.l1_hit
-        if level == "l2":
+            return now + self._lat_l1_hit
+        l1.misses += 1
+        # The L2 half of CacheHierarchy.probe_l2, inlined the same way.
+        l2 = hierarchy.l2
+        state = l2.flat.get(line)
+        if state is not None:
+            l2._sets[line % l2.num_sets].move_to_end(line)
+            l2.hits += 1
+            hierarchy._promote_to_l1(line, state)
             cpu.stats.l2_hits += 1
-            if is_write and state != LineState.MODIFIED:
-                if state == LineState.EXCLUSIVE:
-                    cpu.hierarchy.write_hit(line)
+            if is_write and state != _MODIFIED:
+                if state == _EXCLUSIVE:
+                    hierarchy.write_hit(line)
                 else:
                     return self._upgrade(cpu, frame, lip, line, now)
-            return now + self.config.latency.l2_hit
+            return now + self._lat_l2_hit
+        l2.misses += 1
         return self._miss(cpu, frame, lip, line, is_write, now)
 
     def _upgrade(self, cpu: Cpu, frame: int, lip: int, line: int,
                  now: int) -> int:
         """Write to a SHARED copy in this CPU's cache."""
         node = cpu.node
-        entry = node.pit.entry_or_none(frame)
+        dense = node.pit.dense_real
+        entry = (dense[frame] if frame < len(dense)
+                 else node.pit.entry_or_none(frame))
         mode = entry.mode
         t = node.bus.request(now)
         remote = False
-        if mode == PageMode.SCOMA:
+        if mode == _SCOMA:
             if entry.tags.get(lip) != 2:  # Tag.EXCLUSIVE
                 t = node.controller.fetch(entry, lip, True, True, t)
                 remote = True
@@ -368,23 +491,24 @@ class Machine:
     def _miss(self, cpu: Cpu, frame: int, lip: int, line: int,
               is_write: bool, now: int) -> int:
         node = cpu.node
-        entry = node.pit.entry_or_none(frame)
+        dense = node.pit.dense_real
+        entry = (dense[frame] if frame < len(dense)
+                 else node.pit.entry_or_none(frame))
         if entry is None:
             raise RuntimeError("miss on unmapped frame %d at node %d"
                                % (frame, node.node_id))
-        entry.touch(lip)
+        entry.touched |= 1 << lip
         mode = entry.mode
-        lat = self.config.latency
-        fill_state = LineState.MODIFIED if is_write else LineState.SHARED
+        fill_state = _MODIFIED if is_write else _SHARED
         remote = False
 
-        if mode == PageMode.SCOMA:
+        if mode == _SCOMA:
             tag = entry.tags.tags[lip]
             if tag == 2:  # EXCLUSIVE: page cache services the miss
                 t = self._serve_local(cpu, line, is_write, now, entry)
                 node.stats.local_misses += 1
-                if not is_write and not node.presence.any_holder(line):
-                    fill_state = LineState.EXCLUSIVE
+                if not is_write and line not in node.presence._holders:
+                    fill_state = _EXCLUSIVE
             elif tag == 1:  # SHARED
                 if is_write:
                     t = node.bus.request(now)
@@ -400,11 +524,11 @@ class Machine:
                 node.memory.write(t)  # line lands in the page cache too
                 remote = True
             node.kernel.touch_lru(frame)
-        elif mode == PageMode.LANUMA or mode == PageMode.CCNUMA:
-            if node.presence.any_holder(line):
+        elif mode == _LANUMA or mode == _CCNUMA:
+            if line in node.presence._holders:
                 sib_state = self._max_sibling_state(node, line)
                 if is_write:
-                    if sib_state >= LineState.EXCLUSIVE:
+                    if sib_state >= _EXCLUSIVE:
                         # Node-exclusive: sibling cache supplies locally.
                         t = self._serve_local(cpu, line, True, now, entry)
                         node.stats.local_misses += 1
@@ -420,11 +544,11 @@ class Machine:
                 t = node.bus.request(now)
                 t = node.controller.fetch(entry, lip, is_write, False, t)
                 remote = True
-        elif mode == PageMode.LOCAL:
+        elif mode == _PM_LOCAL:
             t = self._serve_local(cpu, line, is_write, now, entry)
             node.stats.local_misses += 1
-            if not is_write and not node.presence.any_holder(line):
-                fill_state = LineState.EXCLUSIVE
+            if not is_write and line not in node.presence._holders:
+                fill_state = _EXCLUSIVE
         else:
             raise RuntimeError("access to frame in mode %s" % mode.name)
 
@@ -447,26 +571,47 @@ class Machine:
         bus intervention.
         """
         node = cpu.node
-        lat = self.config.latency
-        t = node.bus.request(now)
+        bus = node.bus
+        # Address phase, data phase and DRAM port occupancy are inlined
+        # Resource.acquire calls (same FCFS arithmetic) — this function
+        # runs once per local miss and the call overhead was measurable.
+        bus.transactions += 1
+        res = bus.address_path
+        start = res.next_free if res.next_free > now else now
+        t = start + self._lat_bus_request
+        res.next_free = t
+        res.busy_cycles += self._lat_bus_request
+        res.acquisitions += 1
         dirty_sibling = None
-        for cid in node.presence.holders(line):
-            if node.cpus[cid].hierarchy.state(line) == LineState.MODIFIED:
-                dirty_sibling = cid
-                break
+        holders = node.presence._holders.get(line)
+        if holders:
+            for cid in holders:
+                if node.cpus[cid].hierarchy.state(line) == _MODIFIED:
+                    dirty_sibling = cid
+                    break
         if dirty_sibling is not None:
-            t += lat.intervention
+            t += self._lat_intervention
             if entry.mode.is_remote_backed and not is_write:
                 # No local memory behind the frame: the dirty data is
                 # written back to the home as part of the share.
-                node.controller.share_dirty_lanuma(entry, line % self._lpp, t)
+                node.controller.share_dirty_lanuma(entry, line & self._lip_mask, t)
             else:
                 node.memory.write(t)
         else:
-            t = node.memory.port.acquire(t, lat.local_memory - lat.bus_request
-                                         - lat.bus_data)
-            node.memory.reads += 1
-        t = node.bus.transfer(t)
+            memory = node.memory
+            res = memory.port
+            start = res.next_free if res.next_free > t else t
+            t = start + self._lat_serve_mem
+            res.next_free = t
+            res.busy_cycles += self._lat_serve_mem
+            res.acquisitions += 1
+            memory.reads += 1
+        res = bus.data_path
+        start = res.next_free if res.next_free > t else t
+        t = start + self._lat_bus_data
+        res.next_free = t
+        res.busy_cycles += self._lat_bus_data
+        res.acquisitions += 1
         if is_write:
             self._invalidate_siblings(node, cpu, line)
         elif dirty_sibling is not None:
@@ -474,7 +619,7 @@ class Machine:
         return t
 
     def _invalidate_siblings(self, node: Node, cpu: Cpu, line: int) -> None:
-        holders = node.presence.holders(line)
+        holders = node.presence._holders.get(line)
         if not holders:
             return
         keep = cpu.local_id
@@ -484,8 +629,8 @@ class Machine:
                 node.presence.remove(line, cid)
 
     def _max_sibling_state(self, node: Node, line: int) -> LineState:
-        best = LineState.INVALID
-        for cid in node.presence.holders(line):
+        best = _INVALID
+        for cid in node.presence._holders.get(line, ()):
             state = node.cpus[cid].hierarchy.state(line)
             if state > best:
                 best = state
@@ -493,20 +638,26 @@ class Machine:
 
     def _handle_lost(self, node: Node, cpu: Cpu, lost, now: int) -> None:
         """Process lines evicted from a CPU hierarchy during a fill."""
+        pit = node.pit
+        dense = pit.dense_real
+        dense_len = len(dense)
+        local_id = cpu.local_id
         for vline, vstate in lost:
-            node.presence.remove(vline, cpu.local_id)
-            ventry = node.pit.entry_or_none(vline // self._lpp)
+            node.presence.remove(vline, local_id)
+            vframe = vline // self._lpp
+            ventry = (dense[vframe] if vframe < dense_len
+                      else pit.entry_or_none(vframe))
             if ventry is None:
                 continue
-            if vstate == LineState.MODIFIED:
+            if vstate == _MODIFIED:
                 if ventry.mode.is_remote_backed:
                     node.controller.evict_writeback(
                         ventry, vline & self._lip_mask, now)
                 else:
                     node.memory.write(now)
             elif (ventry.mode.is_remote_backed
-                  and vstate == LineState.EXCLUSIVE
-                  and not node.presence.any_holder(vline)):
+                  and vstate == _EXCLUSIVE
+                  and vline not in node.presence._holders):
                 node.controller.replacement_hint(
                     ventry, vline & self._lip_mask, now)
 

@@ -9,6 +9,15 @@ is one of:
 * ``(OP_BARRIER, barrier_id)`` — global barrier across all CPUs.
 * ``(OP_LOCK, lock_id)``     — acquire a lock (blocks if held).
 * ``(OP_UNLOCK, lock_id)``   — release a lock.
+* ``(OP_READ_RUN, base, stride, count)``  — ``count`` loads from
+  ``base, base+stride, ...`` (virtual addresses).
+* ``(OP_WRITE_RUN, base, stride, count)`` — the store equivalent.
+
+The run ops are *block* operations: the machine expands them inline in
+its dispatch loop, so a strided sweep costs one generator resume (and
+one yielded tuple) instead of one per reference, while simulating the
+exact same per-reference sequence — including preemption between any
+two references of the run when another CPU's clock falls earlier.
 
 Plain integers (not an Enum) keep the hot dispatch loop fast.
 """
@@ -19,6 +28,8 @@ OP_WRITE = 2
 OP_BARRIER = 3
 OP_LOCK = 4
 OP_UNLOCK = 5
+OP_READ_RUN = 6
+OP_WRITE_RUN = 7
 
 OP_NAMES = {
     OP_COMPUTE: "compute",
@@ -27,4 +38,21 @@ OP_NAMES = {
     OP_BARRIER: "barrier",
     OP_LOCK: "lock",
     OP_UNLOCK: "unlock",
+    OP_READ_RUN: "read_run",
+    OP_WRITE_RUN: "write_run",
 }
+
+
+def expand_op(op):
+    """Expand one op into its per-reference equivalent (a list of ops).
+
+    Run ops unroll into ``count`` single-reference ops; every other op
+    is returned as-is.  Used by analysis tooling and the block-op
+    equivalence tests — the machine itself expands runs inline.
+    """
+    kind = op[0]
+    if kind == OP_READ_RUN or kind == OP_WRITE_RUN:
+        single = OP_READ if kind == OP_READ_RUN else OP_WRITE
+        _, base, stride, count = op
+        return [(single, base + i * stride) for i in range(count)]
+    return [op]

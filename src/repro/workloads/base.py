@@ -24,7 +24,7 @@ space; :class:`SharedArray` and :class:`PrivateArray` provide element
 from __future__ import annotations
 
 from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
-                           OP_UNLOCK, OP_WRITE)
+                           OP_READ_RUN, OP_UNLOCK, OP_WRITE, OP_WRITE_RUN)
 
 
 class SharedArray:
@@ -49,6 +49,20 @@ class SharedArray:
     def write(self, index: int) -> "tuple[int, int]":
         """A store op for element ``index``."""
         return (OP_WRITE, self.vbase + index * self.elem_bytes)
+
+    def read_run(self, index: int, count: int,
+                 stride: int = 1) -> "tuple[int, int, int, int]":
+        """A block-load op: ``count`` loads starting at element
+        ``index``, ``stride`` elements apart."""
+        return (OP_READ_RUN, self.vbase + index * self.elem_bytes,
+                stride * self.elem_bytes, count)
+
+    def write_run(self, index: int, count: int,
+                  stride: int = 1) -> "tuple[int, int, int, int]":
+        """A block-store op: ``count`` stores starting at element
+        ``index``, ``stride`` elements apart."""
+        return (OP_WRITE_RUN, self.vbase + index * self.elem_bytes,
+                stride * self.elem_bytes, count)
 
     @property
     def size_bytes(self) -> int:
@@ -78,6 +92,20 @@ class PrivateArray:
     def write(self, index: int) -> "tuple[int, int]":
         """A store op for element ``index``."""
         return (OP_WRITE, self.vbase + index * self.elem_bytes)
+
+    def read_run(self, index: int, count: int,
+                 stride: int = 1) -> "tuple[int, int, int, int]":
+        """A block-load op: ``count`` loads starting at element
+        ``index``, ``stride`` elements apart."""
+        return (OP_READ_RUN, self.vbase + index * self.elem_bytes,
+                stride * self.elem_bytes, count)
+
+    def write_run(self, index: int, count: int,
+                  stride: int = 1) -> "tuple[int, int, int, int]":
+        """A block-store op: ``count`` stores starting at element
+        ``index``, ``stride`` elements apart."""
+        return (OP_WRITE_RUN, self.vbase + index * self.elem_bytes,
+                stride * self.elem_bytes, count)
 
 
 class Workload:
@@ -123,6 +151,37 @@ class Workload:
             "paper_problem": self.paper_problem,
             "problem": getattr(self, "problem", ""),
         }
+
+
+def coalesce(refs):
+    """Fuse an in-order stream of ``(OP_READ|OP_WRITE, addr)`` ops into
+    maximal same-kind constant-stride run ops.
+
+    The run ops expand to exactly the input sequence (same kinds, same
+    addresses, same order), so a generator built on :func:`coalesce` is
+    reference-for-reference identical to one yielding the singles — only
+    the op count the simulator iterates over shrinks.  Lone references
+    stay plain single ops.
+    """
+    run_of = {OP_READ: OP_READ_RUN, OP_WRITE: OP_WRITE_RUN}
+    kind = base = stride = None
+    count = 0
+    for op, addr in refs:
+        if op == kind and (stride is None or addr - prev == stride):
+            if stride is None:
+                stride = addr - prev
+            prev = addr
+            count += 1
+            continue
+        if count == 1:
+            yield (kind, base)
+        elif count:
+            yield (run_of[kind], base, stride, count)
+        kind, base, prev, stride, count = op, addr, addr, None, 1
+    if count == 1:
+        yield (kind, base)
+    elif count:
+        yield (run_of[kind], base, stride, count)
 
 
 def barrier(bid: int) -> "tuple[int, int]":

@@ -70,14 +70,14 @@ class FftWorkload(Workload):
             # Patch transpose (as in SPLASH-2 FFT): move epl x epl
             # patches so both the source reads and the destination
             # writes get full cache-line reuse.  The source patches
-            # stride across every other CPU's partition of a.
+            # stride across every other CPU's partition of a.  Column
+            # reads and row writes are constant-stride, so each patch
+            # is one read run plus one write run per row.
             for r0 in range(rows.start, rows.stop, epl):
                 for c0 in range(0, m, epl):
-                    for c in range(c0, c0 + epl):
-                        yield a.read(c * m + r0)
+                    yield a.read_run(c0 * m + r0, epl, stride=m)
                     for r in range(r0, r0 + epl):
-                        for c in range(c0, c0 + epl):
-                            yield b.write(r * m + c)
+                        yield b.write_run(r * m + c0, epl)
                     yield compute(2 * epl * epl)
 
         def row_ffts(a):

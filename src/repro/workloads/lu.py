@@ -57,6 +57,18 @@ class LuWorkload(Workload):
             for c in range(0, b, LINE_DOUBLES):
                 yield base + c
 
+    def _block_row_runs(self, bi: int, bj: int):
+        """Per-row ``(first_index, lines)`` runs covering the same
+        element indices as :meth:`_block_lines`, in the same order —
+        within a row the per-line indices are ``LINE_DOUBLES`` apart,
+        so a pure-read sweep of a block is one run op per row."""
+        n, b = self.n, self.block
+        row0 = bi * b
+        col0 = bj * b
+        lines = (b + LINE_DOUBLES - 1) // LINE_DOUBLES
+        for r in range(b):
+            yield (row0 + r) * n + col0, lines
+
     def generator(self, cpu_id: int, num_cpus: int):
         a = self.a
         nb = self.nb
@@ -75,15 +87,15 @@ class LuWorkload(Workload):
             # 2. Perimeter blocks.
             for j in range(k + 1, nb):
                 if self._owner(k, j, num_cpus) == cpu_id:
-                    for idx in self._block_lines(k, k):
-                        yield a.read(idx)
+                    for idx, lines in self._block_row_runs(k, k):
+                        yield a.read_run(idx, lines, stride=LINE_DOUBLES)
                     for idx in self._block_lines(k, j):
                         yield a.read(idx)
                         yield a.write(idx)
                     yield compute(flops_per_line * b)
                 if self._owner(j, k, num_cpus) == cpu_id:
-                    for idx in self._block_lines(k, k):
-                        yield a.read(idx)
+                    for idx, lines in self._block_row_runs(k, k):
+                        yield a.read_run(idx, lines, stride=LINE_DOUBLES)
                     for idx in self._block_lines(j, k):
                         yield a.read(idx)
                         yield a.write(idx)
@@ -95,10 +107,10 @@ class LuWorkload(Workload):
                 for j in range(k + 1, nb):
                     if self._owner(i, j, num_cpus) != cpu_id:
                         continue
-                    for idx in self._block_lines(i, k):
-                        yield a.read(idx)
-                    for idx in self._block_lines(k, j):
-                        yield a.read(idx)
+                    for idx, lines in self._block_row_runs(i, k):
+                        yield a.read_run(idx, lines, stride=LINE_DOUBLES)
+                    for idx, lines in self._block_row_runs(k, j):
+                        yield a.read_run(idx, lines, stride=LINE_DOUBLES)
                     for idx in self._block_lines(i, j):
                         yield a.read(idx)
                         yield a.write(idx)

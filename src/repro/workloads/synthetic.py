@@ -33,7 +33,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.ops import OP_READ, OP_WRITE
-from repro.workloads.base import SharedArray, Workload, barrier, compute
+from repro.workloads.base import (SharedArray, Workload, barrier, coalesce,
+                                  compute)
 
 LINE_BYTES = 32
 
@@ -190,9 +191,12 @@ class SyntheticWorkload(Workload):
         elem = array.elem_bytes
         bid = 0
         for lines, writes in self._plans[cpu_id]:
-            for line, write in zip(lines.tolist(), writes.tolist()):
-                addr = vbase + line * elem
-                yield (OP_WRITE if write else OP_READ, addr)
+            # Fuse each iteration's plan into constant-stride run ops;
+            # coalesce() expands back to exactly the per-line sequence,
+            # so the reference stream (and stats) are unchanged.
+            yield from coalesce(
+                (OP_WRITE if write else OP_READ, vbase + line * elem)
+                for line, write in zip(lines.tolist(), writes.tolist()))
             yield compute(50)
             yield barrier(bid)
             bid += 1

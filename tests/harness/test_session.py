@@ -171,10 +171,11 @@ class TestMetricsCollection:
 
     def test_parallel_metrics_match_sequential(self):
         def deterministic(snapshot):
-            # Everything but the wall-clock timer family is a pure
-            # function of the simulation and must match across runs.
+            # Everything but the wall-clock families (harness timers,
+            # host throughput gauges) is a pure function of the
+            # simulation and must match across runs.
             return {section: {k: v for k, v in members.items()
-                              if not k.startswith("harness.")}
+                              if not k.startswith(("harness.", "host."))}
                     for section, members in snapshot.items()
                     if isinstance(members, dict)}
 

@@ -52,7 +52,7 @@ def test_reference_conservation():
     machine = Machine(repro.tiny_config(), policy="scoma")
     wl = make_workload("lu", "tiny")
     result = machine.run(wl)
-    from repro.sim.ops import OP_READ, OP_WRITE
+    from repro.sim.ops import OP_READ, OP_WRITE, expand_op
     expected = 0
     wl2 = make_workload("lu", "tiny")
     wl2.setup(machine.layout.__class__(
@@ -60,8 +60,10 @@ def test_reference_conservation():
         machine.config.page_bytes), len(machine.cpus))
     for cpu in range(len(machine.cpus)):
         for op in wl2.generator(cpu, len(machine.cpus)):
-            if op[0] in (OP_READ, OP_WRITE):
-                expected += 1
+            # Block run ops carry `count` references each.
+            for single in expand_op(op):
+                if single[0] in (OP_READ, OP_WRITE):
+                    expected += 1
     assert result.stats.references == expected
 
 

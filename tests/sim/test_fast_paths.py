@@ -1,0 +1,180 @@
+"""Tests pinning down the reference-path fast paths.
+
+The hot-path work (TLB memo, flat cache probe, dense PIT, block run
+ops, inlined resource arithmetic) must be *invisible* in simulated
+results: these tests assert determinism across back-to-back runs and
+exact equivalence between run-op workloads and their per-reference
+expansion.
+"""
+
+import random
+
+import pytest
+
+from repro.core.modes import PageMode
+from repro.core.pit import PageInformationTable
+from repro.kernel.frames import IMAGINARY_BASE
+from repro.sim.config import tiny_config
+from repro.sim.engine import LockTable
+from repro.sim.machine import Machine
+from repro.sim.ops import (OP_READ, OP_READ_RUN, OP_WRITE, OP_WRITE_RUN,
+                           expand_op)
+from repro.workloads import make_workload
+from repro.workloads.base import Workload, coalesce
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_stats(workload_factory, policy):
+    machine = Machine(tiny_config(), policy=policy)
+    return machine.run(workload_factory()).stats.to_dict()
+
+
+class TestDeterminism:
+    """Two identical runs must produce identical stats dicts."""
+
+    @pytest.mark.parametrize("app,policy", [
+        ("fft", "scoma"),
+        ("lu", "lanuma"),
+        ("fft", "dyn-lru"),
+    ])
+    def test_back_to_back_runs_identical(self, app, policy):
+        first = run_stats(lambda: make_workload(app, preset="tiny"), policy)
+        second = run_stats(lambda: make_workload(app, preset="tiny"), policy)
+        assert first == second
+
+    def test_synthetic_back_to_back_identical(self):
+        make = lambda: SyntheticWorkload("random", shared_kb=32,
+                                         refs_per_cpu_per_iter=400,
+                                         iterations=2)
+        assert run_stats(make, "lanuma") == run_stats(make, "lanuma")
+
+
+class ExpandedWorkload(Workload):
+    """Wraps a workload, expanding every run op to single references.
+
+    Running the wrapped and expanded versions through the same machine
+    configuration must give byte-identical stats — the run ops are pure
+    op-stream compression.
+    """
+
+    name = "expanded"
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self.problem = getattr(inner, "problem", "")
+        if hasattr(inner, "cycles_per_ref"):
+            # The machine reads the per-reference gap off the workload.
+            self.cycles_per_ref = inner.cycles_per_ref
+
+    def setup(self, layout, num_cpus):
+        self.inner.setup(layout, num_cpus)
+
+    def generator(self, cpu_id, num_cpus):
+        for op in self.inner.generator(cpu_id, num_cpus):
+            if op[0] == OP_READ_RUN or op[0] == OP_WRITE_RUN:
+                for single in expand_op(op):
+                    yield single
+            else:
+                yield op
+
+
+class TestRunOpEquivalence:
+    @pytest.mark.parametrize("app", ["fft", "lu"])
+    def test_app_runs_equal_expansion(self, app):
+        fused = run_stats(lambda: make_workload(app, preset="tiny"), "scoma")
+        expanded = run_stats(
+            lambda: ExpandedWorkload(make_workload(app, preset="tiny")),
+            "scoma")
+        assert fused == expanded
+
+    def test_synthetic_runs_equal_expansion(self):
+        make = lambda: SyntheticWorkload("block", shared_kb=32,
+                                         refs_per_cpu_per_iter=500,
+                                         iterations=2)
+        fused = run_stats(make, "lanuma")
+        expanded = run_stats(lambda: ExpandedWorkload(make()), "lanuma")
+        assert fused == expanded
+
+    def test_workloads_actually_emit_runs(self):
+        wl = make_workload("fft", preset="tiny")
+
+        class _Layout:
+            page_bytes = 4096
+
+            def __init__(self):
+                self.base = 0
+
+            def attach_shared(self, key, size_bytes):
+                return self.add_private(size_bytes)
+
+            def add_private(self, size_bytes):
+                region = type("R", (), {"vbase": self.base})()
+                self.base += ((size_bytes + 4095) // 4096) * 4096
+                return region
+
+        wl.setup(_Layout(), 2)
+        kinds = {op[0] for op in wl.generator(0, 2)}
+        assert OP_READ_RUN in kinds and OP_WRITE_RUN in kinds
+
+
+class TestCoalesce:
+    def test_round_trip_is_identity(self):
+        rng = random.Random(7)
+        refs = []
+        addr = 1000
+        for _ in range(300):
+            kind = OP_WRITE if rng.random() < 0.3 else OP_READ
+            addr += rng.choice((0, 8, 8, 8, 64, -8))
+            refs.append((kind, addr))
+        fused = list(coalesce(iter(refs)))
+        assert len(fused) < len(refs)  # something actually coalesced
+        expanded = [single for op in fused for single in expand_op(op)]
+        assert expanded == refs
+
+    def test_lone_references_stay_single_ops(self):
+        refs = [(OP_READ, 0), (OP_WRITE, 8), (OP_READ, 16)]
+        assert list(coalesce(iter(refs))) == refs
+
+    def test_constant_stride_becomes_one_run(self):
+        refs = [(OP_READ, 100 + 32 * i) for i in range(8)]
+        assert list(coalesce(iter(refs))) == [(OP_READ_RUN, 100, 32, 8)]
+
+
+class TestDensePit:
+    def test_dense_table_tracks_install_and_remove(self):
+        pit = PageInformationTable(node_id=0, lines_per_page=8)
+        entry = pit.install(frame=5, gpage=40, static_home=1,
+                            dynamic_home=1, home_frame=None,
+                            mode=PageMode.LANUMA)
+        assert pit.entry_or_none(5) is entry
+        assert pit.entry_or_none(6) is None
+        pit.remove(5)
+        assert pit.entry_or_none(5) is None
+
+    def test_imaginary_frames_use_their_own_table(self):
+        pit = PageInformationTable(node_id=0, lines_per_page=8)
+        frame = IMAGINARY_BASE + 3
+        entry = pit.install(frame=frame, gpage=41, static_home=1,
+                            dynamic_home=1, home_frame=None,
+                            mode=PageMode.LANUMA)
+        assert pit.entry_or_none(frame) is entry
+        assert pit.entry_or_none(3) is None  # real frame 3 unrelated
+        pit.remove(frame)
+        assert pit.entry_or_none(frame) is None
+
+
+class TestLockTableFifo:
+    def test_contended_handoff_is_fifo(self):
+        table = LockTable(cost=2)
+        assert table.acquire(9, cpu_id=0, now=10) == 12
+        for waiter in (1, 2, 3):
+            assert table.acquire(9, cpu_id=waiter, now=20) is None
+        order = []
+        holder = 0
+        for _ in range(3):
+            nxt, _when = table.release(9, holder, now=50)
+            order.append(nxt)
+            holder = nxt
+        assert order == [1, 2, 3]
+        assert table.release(9, holder, now=60) is None

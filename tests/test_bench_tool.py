@@ -1,0 +1,57 @@
+"""The perf-regression gate in tools/bench.py must actually gate."""
+
+import importlib.util
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench", ROOT / "tools" / "bench.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def payload(**cells):
+    return {"schema": 1, "cells": [
+        {"cell": name, "refs_per_sec": rps, "wall_s": 1.0, "cycles": 1,
+         "references": int(rps)} for name, rps in cells.items()]}
+
+
+def test_compare_passes_within_tolerance(capsys):
+    bench = load_bench()
+    old = payload(**{"block/scoma": 100_000.0})
+    new = payload(**{"block/scoma": 95_000.0})  # -5% < 10% tolerance
+    assert bench.compare(old, new, tolerance=0.10) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_compare_fails_on_regression(capsys):
+    bench = load_bench()
+    old = payload(**{"block/scoma": 100_000.0, "random/lanuma": 50_000.0})
+    new = payload(**{"block/scoma": 80_000.0, "random/lanuma": 50_000.0})
+    assert bench.compare(old, new, tolerance=0.10) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "block/scoma" in out
+
+
+def test_compare_tolerates_new_cells(capsys):
+    bench = load_bench()
+    old = payload(**{"block/scoma": 100_000.0})
+    new = payload(**{"block/scoma": 100_000.0, "fft-tiny/scoma": 1.0})
+    assert bench.compare(old, new, tolerance=0.10) == 0
+    assert "NEW" in capsys.readouterr().out
+
+
+def test_committed_trajectory_is_valid():
+    import json
+    committed = json.loads((ROOT / "BENCH_sim.json").read_text())
+    assert committed["schema"] == 1
+    assert committed["cells"], "trajectory point must not be empty"
+    for record in committed["cells"]:
+        for key in ("cell", "refs_per_sec", "wall_s", "cycles"):
+            assert key in record

@@ -6,10 +6,17 @@ from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.sim.invariants import check_machine
-from repro.sim.ops import OP_BARRIER, OP_READ, OP_WRITE
+from repro.sim.ops import OP_BARRIER, OP_READ, OP_WRITE, expand_op
 from repro.workloads.synthetic import PATTERNS, SyntheticWorkload
 
 NUM_CPUS = 8
+
+
+def expanded(ops):
+    """Expand block run ops back to single references for inspection."""
+    for op in ops:
+        for single in expand_op(op):
+            yield single
 
 
 def build(pattern, **kw):
@@ -26,7 +33,7 @@ def test_patterns_emit_valid_ops(pattern):
     wl, layout = build(pattern)
     for cpu in range(NUM_CPUS):
         refs = 0
-        for op in wl.generator(cpu, NUM_CPUS):
+        for op in expanded(wl.generator(cpu, NUM_CPUS)):
             if op[0] in (OP_READ, OP_WRITE):
                 refs += 1
                 assert layout.is_mapped(op[1] // 1024)
@@ -49,14 +56,14 @@ def test_block_pattern_stays_in_own_block():
     for cpu in (0, 3, NUM_CPUS - 1):
         base = wl.array.vbase + cpu * per_cpu_lines * 32
         end = base + per_cpu_lines * 32
-        for op in wl.generator(cpu, NUM_CPUS):
+        for op in expanded(wl.generator(cpu, NUM_CPUS)):
             if op[0] in (OP_READ, OP_WRITE):
                 assert base <= op[1] < end
 
 
 def test_producer_consumer_alternates():
     wl, _ = build("producer_consumer")
-    ops = list(wl.generator(2, NUM_CPUS))
+    ops = list(expanded(wl.generator(2, NUM_CPUS)))
     phases = []
     current = []
     for op in ops:
@@ -76,14 +83,14 @@ def test_producer_consumer_alternates():
 def test_migratory_rotates_ownership():
     wl, _ = build("migratory")
     first_iter_lines = set()
-    for op in wl.generator(0, NUM_CPUS):
+    for op in expanded(wl.generator(0, NUM_CPUS)):
         if op[0] in (OP_READ, OP_WRITE):
             first_iter_lines.add(op[1])
         if op[0] == OP_BARRIER:
             break
     second_iter_lines = set()
     seen_barrier = False
-    for op in wl.generator(0, NUM_CPUS):
+    for op in expanded(wl.generator(0, NUM_CPUS)):
         if op[0] == OP_BARRIER:
             if seen_barrier:
                 break

@@ -9,7 +9,7 @@ import pytest
 
 from repro.kernel.segments import AddressSpaceLayout, GlobalIpcServer
 from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
-                           OP_UNLOCK, OP_WRITE)
+                           OP_UNLOCK, OP_WRITE, expand_op)
 from repro.workloads import APPLICATIONS, make_workload
 
 NUM_CPUS = 8
@@ -25,7 +25,11 @@ def build(app, preset="tiny"):
 
 
 def collect_ops(wl, cpu_id):
-    return list(wl.generator(cpu_id, NUM_CPUS))
+    # Expand block run ops so every op is a single (kind, arg) pair.
+    ops = []
+    for op in wl.generator(cpu_id, NUM_CPUS):
+        ops.extend(expand_op(op))
+    return ops
 
 
 @pytest.mark.parametrize("app", APPLICATIONS)

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Simulator host-throughput benchmark and regression gate.
+
+Runs a pinned matrix of (workload, policy) cells on a small fixed
+machine geometry (the same 2x2 machine ``benchmarks/
+test_simulator_throughput.py`` uses), measures simulated references
+per host second, and writes the result as a ``BENCH_sim.json``
+trajectory point::
+
+    {
+      "schema": 1,
+      "host": {"python": ..., "implementation": ..., "platform": ...},
+      "rounds": 3,
+      "cells": [
+        {"cell": "block/scoma", "refs_per_sec": ..., "wall_s": ...,
+         "cycles": ..., "references": ...},
+        ...
+      ]
+    }
+
+Each cell is timed ``--rounds`` times and the best (minimum) wall time
+is reported, which filters scheduler noise for CI gating.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py --out BENCH_sim.json
+    PYTHONPATH=src python tools/bench.py --quick \
+        --compare BENCH_sim.json --tolerance 0.10
+
+``--compare`` exits nonzero when any cell's refs/sec fell more than
+``--tolerance`` below the old file's value (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+def _bench_config() -> MachineConfig:
+    """The pinned machine geometry every cell runs on."""
+    return MachineConfig(num_nodes=2, cpus_per_node=2,
+                         directory_cache_entries=256)
+
+
+def _synthetic(pattern: str, **kwargs):
+    from repro.workloads.synthetic import SyntheticWorkload
+    kwargs.setdefault("shared_kb", 64)
+    kwargs.setdefault("refs_per_cpu_per_iter", 2000)
+    kwargs.setdefault("iterations", 2)
+    return SyntheticWorkload(pattern, **kwargs)
+
+
+def _preset(app: str, preset: str):
+    from repro.workloads import make_workload
+    return make_workload(app, preset)
+
+
+#: The pinned cell matrix: name -> (policy, workload factory).  The
+#: synthetic cells match benchmarks/test_simulator_throughput.py; the
+#: preset cells exercise the real-kernel generators (block-op runs).
+CELLS = {
+    "block/scoma": ("scoma", lambda: _synthetic("block")),
+    "block/lanuma": ("lanuma", lambda: _synthetic("block")),
+    "random/lanuma": ("lanuma", lambda: _synthetic("random")),
+    "migratory/dyn-lru": ("dyn-lru", lambda: _synthetic("migratory")),
+    "fft-tiny/scoma": ("scoma", lambda: _preset("fft", "tiny")),
+    "fft-small/scoma": ("scoma", lambda: _preset("fft", "small")),
+    "lu-tiny/scoma": ("scoma", lambda: _preset("lu", "tiny")),
+}
+
+#: The CI subset: one synthetic hot-loop cell, one remote-heavy cell,
+#: one real-kernel cell.  Runs in about a second per round.
+QUICK_CELLS = ("block/scoma", "random/lanuma", "fft-tiny/scoma")
+
+
+def run_cell(name: str, rounds: int) -> "dict[str, object]":
+    """Benchmark one cell; returns its trajectory record."""
+    policy, factory = CELLS[name]
+    best_wall = None
+    references = cycles = 0
+    for _ in range(rounds):
+        machine = Machine(_bench_config(), policy=policy)
+        workload = factory()
+        start = time.perf_counter()
+        result = machine.run(workload)
+        wall = time.perf_counter() - start
+        references = result.stats.references
+        cycles = result.stats.execution_cycles
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "cell": name,
+        "refs_per_sec": round(references / best_wall, 1),
+        "wall_s": round(best_wall, 4),
+        "cycles": cycles,
+        "references": references,
+    }
+
+
+def host_metadata() -> "dict[str, str]":
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def compare(old: "dict[str, object]", new: "dict[str, object]",
+            tolerance: float) -> int:
+    """Gate ``new`` against ``old``; returns the process exit code."""
+    old_cells = {c["cell"]: c for c in old.get("cells", [])}
+    regressions = 0
+    print("\n== bench compare (tolerance %.0f%%) ==" % (tolerance * 100))
+    for record in new["cells"]:
+        name = record["cell"]
+        baseline = old_cells.get(name)
+        if baseline is None:
+            print("  %-20s NEW       %10.0f refs/s (no baseline)"
+                  % (name, record["refs_per_sec"]))
+            continue
+        ratio = record["refs_per_sec"] / baseline["refs_per_sec"]
+        label = "OK"
+        if ratio < 1.0 - tolerance:
+            label = "REGRESSION"
+            regressions += 1
+        print("  %-20s %-9s %10.0f refs/s vs %10.0f baseline (%+.1f%%)"
+              % (name, label, record["refs_per_sec"],
+                 baseline["refs_per_sec"], (ratio - 1.0) * 100))
+    if regressions:
+        print("bench compare: %d cell(s) regressed more than %.0f%%"
+              % (regressions, tolerance * 100))
+        return 1
+    print("bench compare: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="simulator host-throughput benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the small CI matrix (%s)"
+                             % ", ".join(QUICK_CELLS))
+    parser.add_argument("--cells", nargs="*", metavar="CELL",
+                        choices=sorted(CELLS), default=None,
+                        help="explicit cells to run (default: full matrix)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell; best is kept "
+                             "(default: 3)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the trajectory JSON here "
+                             "(e.g. BENCH_sim.json)")
+    parser.add_argument("--compare", metavar="OLD", default=None,
+                        help="gate against a previous trajectory file")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed refs/sec drop in --compare mode "
+                             "(default: 0.10)")
+    args = parser.parse_args(argv)
+
+    if args.cells:
+        names = args.cells
+    elif args.quick:
+        names = list(QUICK_CELLS)
+    else:
+        names = list(CELLS)
+
+    print("== simulator throughput (%d round%s per cell) =="
+          % (args.rounds, "s" if args.rounds != 1 else ""))
+    records = []
+    for name in names:
+        record = run_cell(name, args.rounds)
+        records.append(record)
+        print("  %-20s %8d refs %8.3fs %10.0f refs/s"
+              % (name, record["references"], record["wall_s"],
+                 record["refs_per_sec"]))
+
+    payload = {
+        "schema": 1,
+        "host": host_metadata(),
+        "rounds": args.rounds,
+        "cells": records,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+
+    if args.compare:
+        with open(args.compare) as handle:
+            old = json.load(handle)
+        return compare(old, payload, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,4 +63,10 @@ assert families > 0, "metrics snapshot is empty"
 print("observability smoke: %d events, %d metric families OK"
       % (events, families))
 EOF
+echo "== simulator throughput gate (quick matrix, 10% tolerance) =="
+# Best-of-5 rounds: the gate runs right after the test suite, so the
+# first rounds can be depressed by residual host load.
+python tools/bench.py --quick --rounds 5 --out "$workdir/bench.json" \
+    --compare BENCH_sim.json --tolerance 0.10
+
 echo "ci_check: OK"

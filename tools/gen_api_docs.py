@@ -139,6 +139,17 @@ snapshot = registry.to_dict()          # JSON-safe, stable key order
   campaign-wide.  The end-of-campaign summary line reports result-cache
   hit/miss counters.
 
+## Performance
+
+The reference path is aggressively optimised but every fast path is
+required to leave simulated results byte-identical; see
+[PERFORMANCE.md](PERFORMANCE.md) for the hot-path design rules, the
+`tools/bench.py` throughput harness, the committed `BENCH_sim.json`
+trajectory and the CI regression gate, and a cProfile recipe for
+single cells.  Workload generators can compress constant-stride
+reference sequences into block ops (`OP_READ_RUN`/`OP_WRITE_RUN`) via
+`SharedArray.read_run`/`write_run` or `repro.workloads.base.coalesce`.
+
 ### Deprecation path
 
 The free functions `run_one(...)`, `run_suite(...)` and
