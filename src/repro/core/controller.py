@@ -74,6 +74,10 @@ class CoherenceController:
         self._lat_dispatch_pit = lat.ctrl_dispatch + lat.pit_access
         self._ni_occ = machine.network.NI_OCCUPANCY
         self._net_flight = lat.net_latency - self._ni_occ
+        # Hop-jitter hook, hoisted from the network (set when the
+        # machine runs under a schedule perturbation; None keeps the
+        # inlined send sites at a single test each).
+        self._jitter = machine.network.jitter
         # Pre-resolved observability handles (None when disabled, so the
         # protocol paths pay one attribute test each).
         registry = obs.current()
@@ -152,6 +156,8 @@ class CoherenceController:
             ni.busy_cycles += self._ni_occ
             ni.acquisitions += 1
             t = injected + self._net_flight
+            if self._jitter is not None:
+                t += self._jitter()
         if home_id != true_home:
             t = self._reroute(entry, home_id, true_home, t)
             home_id = true_home
@@ -181,6 +187,8 @@ class CoherenceController:
             ni.busy_cycles += self._ni_occ
             ni.acquisitions += 1
             t = injected + self._net_flight
+            if self._jitter is not None:
+                t += self._jitter()
         occ = self._lat_dispatch
         start = res.next_free if res.next_free > t else t
         t = start + occ

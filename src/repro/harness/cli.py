@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", metavar="FILE", default=None,
                      help="write the run's metrics snapshot as JSON "
                           "(forces an uncached, in-process run)")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="walk machine-wide coherence invariants at "
+                          "every barrier release and fail loudly on a "
+                          "violation (forces an uncached, in-process "
+                          "run)")
     _add_session_args(run)
 
     suite = sub.add_parser("suite",
@@ -115,6 +120,27 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--no-cache", action="store_true",
                          help="always re-simulate, don't touch the cache")
 
+    verify = sub.add_parser(
+        "verify", help="protocol conformance: litmus suite / schedule "
+                       "fuzzing (see docs/VERIFICATION.md)")
+    verify.add_argument("--suite", choices=["litmus"], default=None,
+                        help="run the bundled litmus suite under the "
+                             "bounded schedule set (the default when "
+                             "--fuzz is not given)")
+    verify.add_argument("--fuzz", type=_positive_int, default=None,
+                        metavar="N",
+                        help="run N random schedules across the suite, "
+                             "shrinking any failure to a minimal "
+                             "reproducing schedule")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for --fuzz (default: 0)")
+    verify.add_argument("--test", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to named litmus tests "
+                             "(repeatable; see --list)")
+    verify.add_argument("--list", action="store_true",
+                        help="list the bundled litmus tests and exit")
+
     sub.add_parser("list", help="list workloads, policies and presets")
     return parser
 
@@ -142,6 +168,8 @@ def cmd_run(args) -> int:
     session = _session_from_args(args, verbose=False)
     spec = ExperimentSpec(args.workload, args.policy,
                           preset=args.preset, config=config)
+    if args.check_invariants:
+        return _run_with_invariants(args, spec)
     if args.trace_out or args.metrics_out:
         from repro.obs import EventSink
         sink = EventSink() if args.trace_out else None
@@ -162,6 +190,70 @@ def cmd_run(args) -> int:
         save_metrics([result], args.metrics_out)
         print("wrote metrics snapshot to %s" % args.metrics_out)
     return 0
+
+
+def _run_with_invariants(args, spec) -> int:
+    """``repro run --check-invariants``: an uncached in-process run
+    with machine-wide coherence invariant walks at every barrier
+    release.  A violation aborts the run and reports every problem the
+    walk found."""
+    from repro.sim.invariants import InvariantViolation, \
+        install_barrier_checks
+    from repro.sim.machine import Machine
+    from repro.workloads import make_workload
+    machine = Machine(spec.resolved_config(), policy=spec.policy)
+    install_barrier_checks(machine)
+    try:
+        result = machine.run(make_workload(spec.workload, spec.preset))
+    except InvariantViolation as exc:
+        print("INVARIANT VIOLATION at cycle %d (%s / %s):"
+              % (exc.when, spec.workload, spec.policy))
+        for problem in exc.problems:
+            print("  %s" % problem)
+        return 1
+    print("%s / %s (%s preset) [invariants checked at every barrier]"
+          % (args.workload, args.policy, args.preset))
+    for key, value in result.stats.summary().items():
+        print("  %-22s %s" % (key, value))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """``repro verify``: the protocol conformance suite.
+
+    ``--suite litmus`` (the default) runs every bundled litmus test
+    under the bounded schedule set; ``--fuzz N --seed S`` runs N random
+    schedules and shrinks any failure to a minimal reproducing
+    schedule.  Exit code 1 on any conformance failure.
+    """
+    from repro.verify import (LITMUS_SUITE, fuzz, run_suite,
+                              suite_by_name)
+    if args.list:
+        for test in LITMUS_SUITE:
+            print("%-22s %s" % (test.name, test.description))
+        return 0
+    tests = LITMUS_SUITE
+    if args.test:
+        by_name = suite_by_name()
+        unknown = [name for name in args.test if name not in by_name]
+        if unknown:
+            print("unknown litmus tests: %s (try --list)"
+                  % ", ".join(unknown))
+            return 2
+        tests = tuple(by_name[name] for name in args.test)
+    failed = False
+    if args.suite is not None or args.fuzz is None:
+        result = run_suite(tests)
+        print(result.summary())
+        failed = failed or not result.ok
+    if args.fuzz is not None:
+        failures = fuzz(rounds=args.fuzz, seed=args.seed, tests=tests)
+        print("fuzz: %d rounds (seed %d), %d failures"
+              % (args.fuzz, args.seed, len(failures)))
+        for failure in failures:
+            print(failure.describe())
+        failed = failed or bool(failures)
+    return 1 if failed else 0
 
 
 def cmd_suite(args) -> int:
@@ -324,6 +416,7 @@ def main(argv=None) -> int:
         "analyze": cmd_analyze,
         "compare": cmd_compare,
         "metrics": cmd_metrics,
+        "verify": cmd_verify,
         "list": cmd_list,
     }[args.command]
     return handler(args)

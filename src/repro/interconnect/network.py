@@ -26,6 +26,10 @@ class Network:
         self.interfaces = [Resource("node%d.ni" % n) for n in range(num_nodes)]
         self.messages = 0
         self.hops_charged = 0
+        #: Optional per-hop jitter source (``() -> int`` extra flight
+        #: cycles), installed by the machine when it runs under a
+        #: :class:`~repro.sim.engine.SchedulePerturbation`.
+        self.jitter = None
 
     def send(self, src_node: int, dst_node: int, now: int) -> int:
         """One message hop; returns its arrival time at ``dst_node``.
@@ -40,7 +44,10 @@ class Network:
         # NI occupancy is carved out of the one-way latency so that an
         # uncontended hop costs exactly ``net_latency`` end to end.
         injected = self.interfaces[src_node].acquire(now, self.NI_OCCUPANCY)
-        return injected + self.lat.net_latency - self.NI_OCCUPANCY
+        arrival = injected + self.lat.net_latency - self.NI_OCCUPANCY
+        if self.jitter is not None:
+            arrival += self.jitter()
+        return arrival
 
     def multicast(self, src_node: int, dst_nodes: "list[int]", now: int) -> "list[int]":
         """Send to several nodes; injections serialize at the source NI.

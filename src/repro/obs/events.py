@@ -30,6 +30,15 @@ EVENT_SCHEMA: "dict[str, dict[str, type]]" = {
     "pageout": {"time": int, "node": int, "frame": int, "demoted": bool},
     "promote": {"time": int, "node": int, "gpage": int},
     "migrate": {"gpage": int, "old_home": int, "new_home": int},
+    # Value records produced by the verification tap
+    # (``repro.verify.tracker``): every read's observed value and every
+    # write's installed value, with the tap's per-location write
+    # ``version`` — the substrate the sequential-consistency checker
+    # validates against a legal writes-serialization order.
+    "read": {"time": int, "cpu": int, "vaddr": int, "value": int,
+             "version": int},
+    "write": {"time": int, "cpu": int, "vaddr": int, "value": int,
+              "version": int},
 }
 
 

@@ -83,6 +83,84 @@ def sample_utilization(registry, resources, now: int) -> None:
             now, round(resource.utilization(now), 4))
 
 
+class SchedulePerturbation:
+    """Bounded, deterministic perturbation of the simulator's schedule.
+
+    The machine resolves references atomically in per-CPU clock order,
+    so the *interleaving* of a run is a function of two things: where
+    each CPU's clock starts, and how long remote transactions take.
+    This object perturbs exactly those two inputs:
+
+    * ``cpu_offsets`` — per-CPU start-time skews (cycles).  CPU ``i``
+      begins the run at ``cpu_offsets[i % len]`` instead of 0.
+    * ``net_jitter``  — extra flight cycles added to successive network
+      hops, consumed cyclically (hop ``k`` pays ``net_jitter[k % len]``).
+
+    Both are explicit tuples rather than a PRNG stream so a schedule is
+    (a) fully deterministic, (b) trivially serializable into a failure
+    report, and (c) *shrinkable* — the fuzzer minimizes a reproducing
+    schedule by zeroing and halving entries (see ``repro.verify.fuzz``).
+
+    Perturbation changes simulated timing (and therefore statistics);
+    what it must never change is the *values* reads observe relative to
+    a legal serialization — that is what ``repro.verify`` checks.
+    """
+
+    __slots__ = ("cpu_offsets", "net_jitter", "_hop")
+
+    def __init__(self, cpu_offsets=(), net_jitter=()) -> None:
+        self.cpu_offsets = tuple(int(x) for x in cpu_offsets)
+        self.net_jitter = tuple(int(x) for x in net_jitter)
+        if any(x < 0 for x in self.cpu_offsets):
+            raise ValueError("cpu offsets must be non-negative")
+        if any(x < 0 for x in self.net_jitter):
+            raise ValueError("network jitter must be non-negative")
+        self._hop = 0
+
+    def reset(self) -> None:
+        """Rewind the jitter stream (call before reusing a schedule)."""
+        self._hop = 0
+
+    def cpu_offset(self, cpu_id: int) -> int:
+        """Start-time skew for one CPU."""
+        if not self.cpu_offsets:
+            return 0
+        return self.cpu_offsets[cpu_id % len(self.cpu_offsets)]
+
+    def next_jitter(self) -> int:
+        """Extra flight cycles for the next network hop."""
+        if not self.net_jitter:
+            return 0
+        value = self.net_jitter[self._hop % len(self.net_jitter)]
+        self._hop += 1
+        return value
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the schedule perturbs nothing."""
+        return not any(self.cpu_offsets) and not any(self.net_jitter)
+
+    @classmethod
+    def random(cls, rng, num_cpus: int, max_cpu_skew: int = 2000,
+               max_net_jitter: int = 200,
+               jitter_slots: int = 16) -> "SchedulePerturbation":
+        """Draw a bounded random schedule from ``rng`` (a
+        ``random.Random``)."""
+        offsets = tuple(rng.randrange(max_cpu_skew + 1)
+                        for _ in range(num_cpus))
+        jitter = tuple(rng.randrange(max_net_jitter + 1)
+                       for _ in range(jitter_slots))
+        return cls(cpu_offsets=offsets, net_jitter=jitter)
+
+    def describe(self) -> str:
+        """Compact human-readable rendering (failure reports)."""
+        return ("cpu_offsets=%r net_jitter=%r"
+                % (list(self.cpu_offsets), list(self.net_jitter)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SchedulePerturbation(%s)" % self.describe()
+
+
 @dataclass
 class Barrier:
     """An engine-level barrier across ``parties`` simulated CPUs.

@@ -25,6 +25,43 @@ from repro.core.modes import PageMode
 from repro.mem.cache import LineState
 
 
+class InvariantViolation(RuntimeError):
+    """A machine-wide coherence invariant failed mid-run.
+
+    Raised by the barrier-release checks installed with
+    :func:`install_barrier_checks` (``repro run --check-invariants``
+    and the litmus runner).  ``problems`` carries every violation the
+    walk found; ``when`` is the simulated release time it fired at.
+    """
+
+    def __init__(self, problems: "list[str]", when: int) -> None:
+        self.problems = list(problems)
+        self.when = when
+        preview = "; ".join(self.problems[:3])
+        if len(self.problems) > 3:
+            preview += "; ... (%d total)" % len(self.problems)
+        super().__init__(
+            "coherence invariants violated at cycle %d: %s"
+            % (when, preview))
+
+
+def install_barrier_checks(machine) -> None:
+    """Run :func:`check_machine` at every barrier release of ``machine``
+    and raise :class:`InvariantViolation` on the first failure.
+
+    Barrier releases are the natural checkpoints: every CPU is parked,
+    no transaction is mid-flight, so directories, tags, PITs and caches
+    must agree machine-wide.
+    """
+
+    def hook(release_time: int) -> None:
+        problems = check_machine(machine)
+        if problems:
+            raise InvariantViolation(problems, release_time)
+
+    machine.on_barrier_release(hook)
+
+
 def check_machine(machine) -> "list[str]":
     """Returns a list of human-readable invariant violations (empty if
     the machine is coherent)."""

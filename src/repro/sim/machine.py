@@ -122,13 +122,21 @@ class Machine:
 
     def __init__(self, config: "MachineConfig | None" = None,
                  policy: "PageModePolicy | str" = "scoma",
-                 page_cache_override: "list[int] | None" = None) -> None:
+                 page_cache_override: "list[int] | None" = None,
+                 schedule=None) -> None:
         """Build a machine.
 
         ``page_cache_override`` gives a per-node client page-cache
         capacity (in frames), as the SCOMA-70 experiment requires (70%
         of each node's SCOMA-run client frame count); it takes
         precedence over ``config.page_cache_frames``.
+
+        ``schedule`` takes a
+        :class:`~repro.sim.engine.SchedulePerturbation` that skews CPU
+        start times and jitters network hop latencies — the protocol
+        conformance suite (``repro.verify``) uses it to explore event
+        orderings.  ``None`` (the default) is the unperturbed schedule
+        and costs the hot path nothing.
         """
         self.config = config if config is not None else MachineConfig()
         if isinstance(policy, str):
@@ -142,6 +150,11 @@ class Machine:
                 "CC-NUMA encodes home locations in physical addresses, so "
                 "lazy home migration is impossible (section 5)")
         self._page_cache_override = page_cache_override
+        #: Optional schedule perturbation; must be set before nodes are
+        #: built so the controllers can hoist the jitter hook.
+        self.schedule = schedule
+        if schedule is not None:
+            schedule.reset()
         cfg = self.config
         lat = cfg.latency
 
@@ -169,6 +182,8 @@ class Machine:
                                - lat.bus_data)
 
         self.network = Network(cfg.num_nodes, lat)
+        if schedule is not None:
+            self.network.jitter = schedule.next_jitter
         self.ipc = GlobalIpcServer(cfg.num_nodes, cfg.page_bytes)
         self.layout = AddressSpaceLayout(self.ipc, cfg.page_bytes)
         self.migration = MigrationManager(self)
@@ -189,6 +204,10 @@ class Machine:
         self.locks = LockTable(cost=lat.lock_cost)
         self._barriers: "dict[int, Barrier]" = {}
         self._ref_gap = 3
+        #: Called as ``hook(release_time)`` at every barrier release
+        #: (verification: invariant walks at synchronization points).
+        #: None keeps the barrier path a single attribute test.
+        self._barrier_hook = None
         #: Nodes that have fail-stopped (section 3.3 failure model).
         self.failed_nodes: "set[int]" = set()
         self.stats = MachineStats(
@@ -241,8 +260,21 @@ class Machine:
         return RunResult(workload=workload.name, policy=self.policy.name,
                          config=self.config, stats=self.stats)
 
+    def on_barrier_release(self, hook) -> None:
+        """Install ``hook(release_time)`` to run at every barrier
+        release (``None`` uninstalls).  The verification layer hangs
+        machine-wide invariant walks here: barrier releases are the
+        points where every CPU is quiescent, so cross-node state must
+        be consistent."""
+        self._barrier_hook = hook
+
     def _event_loop(self) -> None:
-        heap = [(0, cpu.cpu_id) for cpu in self.cpus]
+        schedule = self.schedule
+        if schedule is None:
+            heap = [(0, cpu.cpu_id) for cpu in self.cpus]
+        else:
+            heap = [(schedule.cpu_offset(cpu.cpu_id), cpu.cpu_id)
+                    for cpu in self.cpus]
         heapq.heapify(heap)
         self._heap = heap
         cpus = self.cpus
@@ -370,6 +402,8 @@ class Machine:
                         self._wake(rcid, rtime)
                     if self._obs is not None:
                         self._sample_epoch(released[0][1])
+                    if self._barrier_hook is not None:
+                        self._barrier_hook(released[0][1])
                 return "blocked"
             elif kind == OP_LOCK:
                 granted = self.locks.acquire(op[1], cpu.cpu_id, time)

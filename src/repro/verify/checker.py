@@ -1,0 +1,57 @@
+"""Per-location sequential-consistency checker over a value history.
+
+Consumes the ``read``/``write`` events a
+:class:`~repro.verify.tracker.ValueTracker` recorded into an
+:class:`~repro.obs.events.EventSink` and validates them against the one
+legal serialization this simulator admits: resolution (event) order.
+
+Soundness: the machine resolves each reference atomically, and a
+write-invalidate protocol completes every invalidation within the
+resolving call — so under a correct protocol *every* read observes the
+latest write in event order.  Any divergence recorded by the tracker is
+therefore a real coherence violation (a CPU served a value its copy
+should no longer have held), never a benign reordering.
+"""
+
+from __future__ import annotations
+
+
+def check_history(events, line_shift: int) -> "list[str]":
+    """Validate a value history; returns violation messages (empty = ok).
+
+    ``events`` is any iterable of event dicts (other kinds are
+    ignored); ``line_shift`` is ``log2(line_bytes)`` of the machine
+    that produced them, used to group addresses into coherence units.
+
+    Checks, in event order:
+
+    * every read observes the latest write to its line (version 0 — the
+      initial value — before any write);
+    * write versions are strictly increasing globally (tap integrity:
+      a non-monotonic version means the history itself is corrupt).
+    """
+    problems: "list[str]" = []
+    latest: "dict[int, int]" = {}
+    last_version = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "write":
+            version = event["version"]
+            if version <= last_version:
+                problems.append(
+                    "corrupt history: write version %d after %d (seq %d)"
+                    % (version, last_version, event.get("seq", -1)))
+            last_version = version
+            latest[event["vaddr"] >> line_shift] = version
+        elif kind == "read":
+            vline = event["vaddr"] >> line_shift
+            expected = latest.get(vline, 0)
+            observed = event["value"]
+            if observed != expected:
+                problems.append(
+                    "stale read: cpu %d observed version %d at vaddr %#x "
+                    "(line %d) but the latest write is version %d "
+                    "(t=%d, seq %d)"
+                    % (event["cpu"], observed, event["vaddr"], vline,
+                       expected, event["time"], event.get("seq", -1)))
+    return problems

@@ -1,0 +1,88 @@
+"""Protocol mutations: prove the conformance checkers are not vacuous.
+
+Each mutation is a deliberately introduced protocol bug, applied as a
+temporary class-level patch inside a context manager.  The self-test
+(``tests/verify/test_mutations.py``) asserts that the litmus suite
+*fails* under every mutation — if flipping a protocol transition goes
+unnoticed, the checkers are decoration, not verification.
+
+The three mutations span the detection mechanisms:
+
+* ``skip-client-invalidate`` — a client node acks a home invalidation
+  without actually dropping its copies or clearing its tags.  Readers
+  on that node keep hitting the stale copy; the *value checker*
+  catches the stale reads.
+* ``skip-sibling-invalidate`` — a write no longer invalidates same-node
+  sibling CPU caches.  Caught by the value checker (stale sibling
+  reads) and by the *invariant walk* (presence/cache disagreement).
+* ``skip-tag-invalidate`` — the fine-grain tag array silently ignores
+  transitions to Invalid, leaving tags that claim copies the protocol
+  revoked.  Primarily caught by the barrier *invariant walk*
+  (directory/tag cross-checks).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.controller import CoherenceController
+from repro.core.finegrain import FineGrainTags, Tag
+from repro.interconnect.messages import MessageKind
+from repro.sim.machine import Machine
+
+
+def _handle_invalidate_no_drop(self, gpage, lip, arrival):
+    # Same timing and accounting as the real handler, but the copy
+    # survives: no _drop_local_copies, no tag clear.
+    lat = self.lat
+    node = self.node
+    t = self.resource.acquire(arrival, lat.ctrl_dispatch)
+    entry = node.pit.by_gpage(gpage, None)
+    t += self._client_reverse_cost(entry)
+    node.stats.invalidations_received += 1
+    node.msglog.record(MessageKind.ACK)
+    if entry is None:
+        return t
+    t = node.bus.request(t)
+    return t
+
+
+def _invalidate_siblings_noop(self, node, cpu, line):
+    return None
+
+
+def _tags_set_ignore_invalid(self, line_in_page, tag):
+    if tag == Tag.INVALID:
+        return
+    self.tags[line_in_page] = int(tag)
+
+
+#: name -> (class, attribute, replacement)
+MUTATIONS: "dict[str, tuple[type, str, object]]" = {
+    "skip-client-invalidate": (
+        CoherenceController, "handle_invalidate",
+        _handle_invalidate_no_drop),
+    "skip-sibling-invalidate": (
+        Machine, "_invalidate_siblings", _invalidate_siblings_noop),
+    "skip-tag-invalidate": (
+        FineGrainTags, "set", _tags_set_ignore_invalid),
+}
+
+
+@contextmanager
+def apply_mutation(name: str):
+    """Apply one named mutation for the duration of the ``with`` block.
+
+    The original method is always restored, even if the block raises.
+    """
+    try:
+        cls, attr, replacement = MUTATIONS[name]
+    except KeyError:
+        raise ValueError("unknown mutation %r (want one of %s)"
+                         % (name, ", ".join(sorted(MUTATIONS)))) from None
+    original = getattr(cls, attr)
+    setattr(cls, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)

@@ -91,5 +91,8 @@ def test_csv_export_sections_per_kind():
 
 
 def test_schema_covers_all_trace_event_kinds():
+    # The schema may define more kinds than the trace recorder produces
+    # (the verification tap emits "read"/"write"), but every trace kind
+    # must have a schema entry.
     from repro.sim.trace import KINDS
-    assert set(EVENT_SCHEMA) == set(KINDS)
+    assert set(KINDS) <= set(EVENT_SCHEMA)

@@ -1,0 +1,67 @@
+"""Tests for the SC history checker (repro.verify.checker)."""
+
+import pytest
+
+from repro.verify import check_history
+
+pytestmark = pytest.mark.verify
+
+SHIFT = 5  # 32-byte lines
+
+
+def _write(seq, vaddr, version, cpu=0, time=0):
+    return {"seq": seq, "kind": "write", "cpu": cpu, "vaddr": vaddr,
+            "value": version, "version": version, "time": time}
+
+
+def _read(seq, vaddr, value, cpu=1, time=0):
+    return {"seq": seq, "kind": "read", "cpu": cpu, "vaddr": vaddr,
+            "value": value, "version": value, "time": time}
+
+
+def test_empty_and_write_only_histories_pass():
+    assert check_history([], SHIFT) == []
+    assert check_history([_write(0, 0x100, 1)], SHIFT) == []
+
+
+def test_read_of_initial_value_passes():
+    assert check_history([_read(0, 0x100, 0)], SHIFT) == []
+
+
+def test_read_of_latest_write_passes():
+    events = [_write(0, 0x100, 1), _read(1, 0x100, 1),
+              _write(2, 0x100, 2), _read(3, 0x100, 2)]
+    assert check_history(events, SHIFT) == []
+
+
+def test_stale_read_is_flagged():
+    events = [_write(0, 0x100, 1), _write(1, 0x100, 2),
+              _read(2, 0x100, 1)]
+    problems = check_history(events, SHIFT)
+    assert len(problems) == 1
+    assert "stale read" in problems[0]
+    assert "version 1" in problems[0] and "version 2" in problems[0]
+
+
+def test_locations_are_tracked_per_line_not_per_byte():
+    # Two addresses on one 32-byte line share a coherence unit: a write
+    # to the first makes version 0 stale for the second.
+    events = [_write(0, 0x100, 1), _read(1, 0x11c, 0)]
+    assert any("stale read" in p
+               for p in check_history(events, SHIFT))
+    # ...while a different line is independent.
+    events = [_write(0, 0x100, 1), _read(1, 0x120, 0)]
+    assert check_history(events, SHIFT) == []
+
+
+def test_non_monotonic_write_versions_are_corrupt():
+    events = [_write(0, 0x100, 2), _write(1, 0x140, 2)]
+    problems = check_history(events, SHIFT)
+    assert any("corrupt history" in p for p in problems)
+
+
+def test_other_event_kinds_are_ignored():
+    events = [{"seq": 0, "kind": "migrate", "gpage": 1,
+               "old_home": 0, "new_home": 1},
+              _read(1, 0x100, 0)]
+    assert check_history(events, SHIFT) == []

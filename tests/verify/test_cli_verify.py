@@ -1,0 +1,70 @@
+"""CLI surface of the conformance subsystem: ``repro verify`` and
+``repro run --check-invariants``."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.verify import apply_mutation
+
+pytestmark = pytest.mark.verify
+
+
+def test_verify_list_names_every_bundled_test(capsys):
+    assert main(["verify", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mp_scoma", "iriw_lanuma", "migration_race_scoma",
+                 "pageout_mp_scoma"):
+        assert name in out
+
+
+def test_verify_suite_passes(capsys):
+    assert main(["verify", "--suite", "litmus",
+                 "--test", "mp_scoma", "--test", "sb_scoma"]) == 0
+    out = capsys.readouterr().out
+    assert "litmus suite" in out
+    assert "0 failures" in out
+
+
+def test_verify_default_is_the_suite(capsys):
+    assert main(["verify", "--test", "mp_scoma"]) == 0
+    assert "litmus suite" in capsys.readouterr().out
+
+
+def test_verify_fuzz_smoke(capsys):
+    assert main(["verify", "--fuzz", "4", "--seed", "0",
+                 "--test", "mp_scoma"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz: 4 rounds (seed 0), 0 failures" in out
+    # --fuzz alone skips the exhaustive suite pass.
+    assert "litmus suite" not in out
+
+
+def test_verify_unknown_test_is_an_error(capsys):
+    assert main(["verify", "--test", "nonesuch"]) == 2
+    assert "unknown litmus tests: nonesuch" in capsys.readouterr().out
+
+
+def test_verify_fails_loudly_under_a_mutation(capsys):
+    with apply_mutation("skip-client-invalidate"):
+        assert main(["verify", "--test", "mp_scoma"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+
+
+def test_run_check_invariants_clean(capsys):
+    assert main(["run", "fft", "--preset", "tiny", "--no-cache",
+                 "--check-invariants"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants checked at every barrier" in out
+    assert "execution_cycles" in out
+
+
+def test_run_check_invariants_reports_violations(capsys):
+    # A machine that acks invalidations without dropping copies breaks
+    # the directory invariants; the CLI must fail loudly, naming them.
+    with apply_mutation("skip-client-invalidate"):
+        code = main(["run", "fft", "--preset", "tiny", "--no-cache",
+                     "--check-invariants"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "INVARIANT VIOLATION" in out

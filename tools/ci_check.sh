@@ -15,7 +15,15 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 echo "== tier-1 tests =="
-python -m pytest -x -q "$@"
+# Line-coverage floor rides along when pytest-cov is available; the CI
+# image may not ship it, so gate on the import and never install here.
+if python -c "import pytest_cov" 2> /dev/null; then
+    python -m pytest -x -q \
+        --cov=repro --cov-fail-under=80 --cov-report=term:skip-covered "$@"
+else
+    echo "pytest-cov not installed; skipping the 80% coverage floor"
+    python -m pytest -x -q "$@"
+fi
 
 echo "== 2-worker mini-campaign smoke test =="
 workdir=$(mktemp -d)
@@ -63,6 +71,10 @@ assert families > 0, "metrics snapshot is empty"
 print("observability smoke: %d events, %d metric families OK"
       % (events, families))
 EOF
+echo "== protocol conformance: litmus suite + fixed-seed fuzz smoke =="
+python -m repro verify --suite litmus
+python -m repro verify --fuzz 40 --seed 0
+
 echo "== simulator throughput gate (quick matrix, 10% tolerance) =="
 # Best-of-5 rounds: the gate runs right after the test suite, so the
 # first rounds can be depressed by residual host load.

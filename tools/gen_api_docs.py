@@ -139,6 +139,20 @@ snapshot = registry.to_dict()          # JSON-safe, stable key order
   campaign-wide.  The end-of-campaign summary line reports result-cache
   hit/miss counters.
 
+## Verification
+
+`repro.verify` is the protocol conformance subsystem: a litmus-test DSL
+with ~18 bundled tests (message-passing, store-buffer, IRIW, sibling
+sharing, migration and pageout races across S-COMA / LA-NUMA /
+CC-NUMA), a bounded schedule explorer plus a seeded randomized fuzzer
+with automatic shrinking, a per-location sequential-consistency checker
+over recorded read/write values, and mutation self-tests that prove the
+whole stack is non-vacuous.  Run it with `repro verify [--suite litmus]
+[--fuzz N --seed S] [--test NAME]`, or turn on machine-wide invariant
+walks at every barrier with `repro run ... --check-invariants`.  See
+[VERIFICATION.md](VERIFICATION.md) for the DSL, the checker's soundness
+argument and extension recipes.
+
 ## Performance
 
 The reference path is aggressively optimised but every fast path is
