@@ -49,6 +49,18 @@ class NodeFailedError(RuntimeError):
     """
 
 
+class UnreachableNodeError(NodeFailedError):
+    """Bounded retransmission gave up on a node.
+
+    Raised by the fault plane (``repro.faults``) when a message stays
+    undeliverable after every retry — the destination hard-failed, or a
+    partition/drop rule outlasted the :class:`RetryPolicy` budget.  It
+    subclasses :class:`NodeFailedError` because that is exactly how the
+    protocol treats an unreachable peer: the transaction fails cleanly
+    and the survivors keep running.
+    """
+
+
 class WildWriteError(RuntimeError):
     """A remote write was rejected by the PIT memory firewall.
 
@@ -78,6 +90,10 @@ class CoherenceController:
         # machine runs under a schedule perturbation; None keeps the
         # inlined send sites at a single test each).
         self._jitter = machine.network.jitter
+        # Fault plane, hoisted likewise: None keeps the inlined send
+        # sites; an injector reroutes them through Network.send so every
+        # hop is judged (drop/retry/delay/duplicate) exactly once.
+        self._faults = getattr(machine, "faults", None)
         # Pre-resolved observability handles (None when disabled, so the
         # protocol paths pay one attribute test each).
         registry = obs.current()
@@ -147,17 +163,20 @@ class CoherenceController:
         network = machine.network
         node_id = node.node_id
         if home_id != node_id:
-            network.messages += 1
-            network.hops_charged += 1
-            ni = network.interfaces[node_id]
-            start = ni.next_free if ni.next_free > t else t
-            injected = start + self._ni_occ
-            ni.next_free = injected
-            ni.busy_cycles += self._ni_occ
-            ni.acquisitions += 1
-            t = injected + self._net_flight
-            if self._jitter is not None:
-                t += self._jitter()
+            if self._faults is not None:
+                t = self._faults.deliver(network, node_id, home_id, t, kind)
+            else:
+                network.messages += 1
+                network.hops_charged += 1
+                ni = network.interfaces[node_id]
+                start = ni.next_free if ni.next_free > t else t
+                injected = start + self._ni_occ
+                ni.next_free = injected
+                ni.busy_cycles += self._ni_occ
+                ni.acquisitions += 1
+                t = injected + self._net_flight
+                if self._jitter is not None:
+                    t += self._jitter()
         if home_id != true_home:
             t = self._reroute(entry, home_id, true_home, t)
             home_id = true_home
@@ -178,17 +197,21 @@ class CoherenceController:
         # Response flight + client-side completion (send, dispatch and
         # data phase inlined as in the request path).
         if sender_id != node_id:
-            network.messages += 1
-            network.hops_charged += 1
-            ni = network.interfaces[sender_id]
-            start = ni.next_free if ni.next_free > t else t
-            injected = start + self._ni_occ
-            ni.next_free = injected
-            ni.busy_cycles += self._ni_occ
-            ni.acquisitions += 1
-            t = injected + self._net_flight
-            if self._jitter is not None:
-                t += self._jitter()
+            if self._faults is not None:
+                t = self._faults.deliver(network, sender_id, node_id, t,
+                                         MessageKind.DATA_REPLY)
+            else:
+                network.messages += 1
+                network.hops_charged += 1
+                ni = network.interfaces[sender_id]
+                start = ni.next_free if ni.next_free > t else t
+                injected = start + self._ni_occ
+                ni.next_free = injected
+                ni.busy_cycles += self._ni_occ
+                ni.acquisitions += 1
+                t = injected + self._net_flight
+                if self._jitter is not None:
+                    t += self._jitter()
         occ = self._lat_dispatch
         start = res.next_free if res.next_free > t else t
         t = start + occ
@@ -224,13 +247,16 @@ class CoherenceController:
         self.node.stats.forwarded_requests += 1
         static = entry.static_home
         if static not in (stale_home, true_home):
-            t = machine.network.send(stale_home, static, t)
+            t = machine.network.send(stale_home, static, t,
+                                     MessageKind.FORWARD)
             static_node = machine.nodes[static]
             t = static_node.controller.resource.acquire(t, lat.ctrl_dispatch)
             static_node.msglog.record(MessageKind.FORWARD)
-            t = machine.network.send(static, true_home, t)
+            t = machine.network.send(static, true_home, t,
+                                     MessageKind.FORWARD)
         else:
-            t = machine.network.send(stale_home, true_home, t)
+            t = machine.network.send(stale_home, true_home, t,
+                                     MessageKind.FORWARD)
         entry.home_frame = None  # any cached guess is stale
         return t
 
@@ -390,7 +416,8 @@ class CoherenceController:
         owner = machine.nodes[owner_id]
         self.node.msglog.record(MessageKind.INTERVENTION)
 
-        t = machine.network.send(self.node.node_id, owner_id, t)
+        t = machine.network.send(self.node.node_id, owner_id, t,
+                                 MessageKind.INTERVENTION)
         t = owner.controller.resource.acquire(t, lat.ctrl_dispatch)
         owner_entry = owner.pit.by_gpage(gpage, None)
         t += owner.controller._client_reverse_cost(owner_entry)
@@ -469,10 +496,12 @@ class CoherenceController:
         for s in sharers:
             issue = self.resource.acquire(issue, lat.inval_issue)
             node.msglog.record(MessageKind.INVALIDATE)
-            arr = machine.network.send(node.node_id, s, issue)
+            arr = machine.network.send(node.node_id, s, issue,
+                                       MessageKind.INVALIDATE)
             ack_ready = machine.nodes[s].controller.handle_invalidate(
                 gpage, lip, arr)
-            ack = machine.network.send(s, node.node_id, ack_ready)
+            ack = machine.network.send(s, node.node_id, ack_ready,
+                                       MessageKind.ACK)
             if ack > last_ack:
                 last_ack = ack
         if sharers:
@@ -594,7 +623,8 @@ class CoherenceController:
         dir_page = home.directory.page(entry.gpage)
         node.msglog.record(MessageKind.WRITEBACK)
         node.stats.writebacks_remote += 1
-        arrival = machine.network.send(node.node_id, home.node_id, now)
+        arrival = machine.network.send(node.node_id, home.node_id, now,
+                                       MessageKind.WRITEBACK)
         home.controller.resource.acquire(arrival, self.lat.writeback_issue)
         home.memory.write(arrival)
         if dir_page is None:
@@ -621,7 +651,8 @@ class CoherenceController:
         if dl.state != DirState.CLIENT_EXCL or dl.owner != node.node_id:
             return
         node.msglog.record(MessageKind.REPLACEMENT_HINT)
-        machine.network.send(node.node_id, home.node_id, now)
+        machine.network.send(node.node_id, home.node_id, now,
+                             MessageKind.REPLACEMENT_HINT)
         dl.state = DirState.HOME_EXCL
         dl.owner = -1
         dl.sharers = set()
@@ -639,7 +670,8 @@ class CoherenceController:
         dir_page = home.directory.page(entry.gpage)
         node.msglog.record(MessageKind.WRITEBACK)
         node.stats.writebacks_remote += 1
-        home.memory.write(machine.network.send(node.node_id, home.node_id, now))
+        home.memory.write(machine.network.send(node.node_id, home.node_id,
+                                               now, MessageKind.WRITEBACK))
         if dir_page is None:
             return
         dl = dir_page.lines[lip]

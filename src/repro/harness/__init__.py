@@ -21,8 +21,7 @@ from repro.harness.export import (campaign_to_dict, figure7_csv,
                                   save_metrics, suite_to_dict)
 from repro.harness.report import CampaignProgress
 from repro.harness.runner import (PAPER_POLICIES, SuiteResult,
-                                  derive_page_cache_caps, run_all_suites,
-                                  run_one, run_suite)
+                                  derive_page_cache_caps)
 from repro.harness.session import ExperimentSpec, ResultCache, Session
 from repro.harness.sweep import (SweepResult, cache_fraction_sweep,
                                  render_sweep)
@@ -73,7 +72,7 @@ __all__ = [
     "figure7_ascii", "figure7_csv", "figure7_series", "figure7_table",
     "load_campaign", "metrics_table", "metrics_to_dict",
     "pit_sensitivity", "render_sweep", "result_to_dict",
-    "run_all_suites", "run_one", "run_paper_evaluation", "run_suite",
+    "run_paper_evaluation",
     "runs_csv", "save_campaign", "save_metrics", "suite_to_dict",
     "table1", "table2", "table3", "table4", "table5",
 ]

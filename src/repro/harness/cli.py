@@ -141,6 +141,32 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--list", action="store_true",
                         help="list the bundled litmus tests and exit")
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection campaigns: litmus tests under "
+                      "sampled fault plans (see docs/FAULTS.md)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed: drives plan sampling and the "
+                            "injector RNG (default: 0); the same seed "
+                            "reproduces identical verdicts")
+    chaos.add_argument("--rounds", type=_positive_int, default=8,
+                       help="chaos rounds to run (default: 8)")
+    chaos.add_argument("--plan", metavar="FILE", default=None,
+                       help="JSON fault plan to replay every round "
+                            "(default: sample a fresh random plan per "
+                            "round from --seed)")
+    chaos.add_argument("--test", action="append", default=None,
+                       metavar="NAME",
+                       help="restrict to named litmus tests (repeatable; "
+                            "see repro verify --list)")
+    chaos.add_argument("--deadline", type=_positive_int, default=None,
+                       metavar="CYCLES",
+                       help="simulated-cycle hang deadline per run "
+                            "(default: 20M)")
+    chaos.add_argument("--no-retry", action="store_true",
+                       help="disable the retransmission layer (the "
+                            "mutation self-test mode: drop plans are "
+                            "expected to hang)")
+
     sub.add_parser("list", help="list workloads, policies and presets")
     return parser
 
@@ -254,6 +280,43 @@ def cmd_verify(args) -> int:
             print(failure.describe())
         failed = failed or bool(failures)
     return 1 if failed else 0
+
+
+def cmd_chaos(args) -> int:
+    """``repro chaos``: resilience campaigns over the fault plane.
+
+    Samples a fault plan per round (or replays ``--plan FILE``) and
+    runs litmus tests under it: every round must either complete with
+    a sequentially-consistent history or fail cleanly.  Exit code 1 on
+    any HUNG or CORRUPT verdict.  Deterministic in ``--seed``.
+    """
+    import json
+
+    from repro.faults import ChaosCampaign, FaultPlan, RetryPolicy
+    from repro.faults.campaign import DEFAULT_DEADLINE
+    from repro.verify import LITMUS_SUITE, suite_by_name
+    tests = LITMUS_SUITE
+    if args.test:
+        by_name = suite_by_name()
+        unknown = [name for name in args.test if name not in by_name]
+        if unknown:
+            print("unknown litmus tests: %s (try repro verify --list)"
+                  % ", ".join(unknown))
+            return 2
+        tests = tuple(by_name[name] for name in args.test)
+    plan = None
+    if args.plan is not None:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_dict(json.load(fh))
+    retry = RetryPolicy.disabled() if args.no_retry else None
+    deadline = (args.deadline if args.deadline is not None
+                else DEFAULT_DEADLINE)
+    campaign = ChaosCampaign(seed=args.seed, rounds=args.rounds,
+                             tests=tests, plan=plan, retry=retry,
+                             deadline=deadline)
+    report = campaign.run()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_suite(args) -> int:
@@ -417,6 +480,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "metrics": cmd_metrics,
         "verify": cmd_verify,
+        "chaos": cmd_chaos,
         "list": cmd_list,
     }[args.command]
     return handler(args)

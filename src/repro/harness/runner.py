@@ -1,26 +1,23 @@
-"""Experiment runner: one workload under one or many policies.
+"""Suite/campaign result types and the SCOMA-relative cap derivation.
 
 The SCOMA-70 and adaptive configurations are defined *relative to the
 SCOMA run*: the page cache at each node is capped at 70% of the client
 S-COMA frames that node allocated under SCOMA (section 4.2).  The suite
-runner therefore always runs SCOMA first, derives the per-node caps,
+scheduler therefore always runs SCOMA first, derives the per-node caps,
 and reuses them for every capped policy.
 
-The free functions ``run_one`` / ``run_suite`` / ``run_all_suites`` are
-**deprecated**: they grew a positional/kwarg surface that could not
-express scheduling, caching or parallelism.  Use the
+Experiments are run through the
 :class:`~repro.harness.session.ExperimentSpec` +
-:class:`~repro.harness.session.Session` API instead; the wrappers here
-build a spec internally, emit a :class:`DeprecationWarning` and produce
-identical results.
+:class:`~repro.harness.session.Session` API (the free functions
+``run_one`` / ``run_suite`` / ``run_all_suites`` that used to live
+here were deprecated in the parallel-harness change and have been
+removed).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
-from repro.sim.config import MachineConfig
 from repro.sim.machine import RunResult
 
 #: Policies in the paper's Figure 7 order.
@@ -30,25 +27,6 @@ PAPER_POLICIES = ("scoma", "lanuma", "scoma-70",
 #: Policies that run with the 70%-of-SCOMA page-cache cap.
 CAPPED_POLICIES = ("scoma-70", "dyn-fcfs", "dyn-util", "dyn-lru",
                    "dyn-bidir")
-
-
-def run_one(workload: str, policy: str, preset: str = "default",
-            config: "MachineConfig | None" = None,
-            page_cache_override: "list[int] | None" = None) -> RunResult:
-    """Run one workload under one policy and return its result.
-
-    Deprecated: use ``Session().run(ExperimentSpec(...))``.
-    """
-    from repro.harness.session import ExperimentSpec, Session
-    warnings.warn(
-        "run_one() is deprecated; use repro.harness.session.Session.run("
-        "ExperimentSpec(workload, policy, ...)) instead",
-        DeprecationWarning, stacklevel=2)
-    spec = ExperimentSpec(
-        workload=workload, policy=policy, preset=preset, config=config,
-        page_cache_override=(tuple(page_cache_override)
-                             if page_cache_override is not None else None))
-    return Session().run(spec)
 
 
 def derive_page_cache_caps(scoma_result: RunResult,
@@ -83,44 +61,3 @@ class SuiteResult:
     def page_outs(self, policy: str) -> int:
         """Client page-outs under ``policy`` (Tables 4/5)."""
         return self.results[policy].stats.client_page_outs
-
-
-def _compat_session(verbose: bool):
-    from repro.harness.report import CampaignProgress
-    from repro.harness.session import Session
-    return Session(progress=CampaignProgress() if verbose else None)
-
-
-def run_suite(workload: str, policies: "tuple[str, ...]" = PAPER_POLICIES,
-              preset: str = "default",
-              config: "MachineConfig | None" = None,
-              cache_fraction: float = 0.7,
-              verbose: bool = False) -> SuiteResult:
-    """Run one workload under a set of policies (SCOMA first).
-
-    Deprecated: use ``Session().run_workload_suite(...)``.
-    """
-    warnings.warn(
-        "run_suite() is deprecated; use repro.harness.session."
-        "Session.run_workload_suite() instead",
-        DeprecationWarning, stacklevel=2)
-    return _compat_session(verbose).run_workload_suite(
-        workload, policies=policies, preset=preset, config=config,
-        cache_fraction=cache_fraction)
-
-
-def run_all_suites(apps: "tuple[str, ...]",
-                   policies: "tuple[str, ...]" = PAPER_POLICIES,
-                   preset: str = "default",
-                   config: "MachineConfig | None" = None,
-                   verbose: bool = False) -> "dict[str, SuiteResult]":
-    """Run every application's policy suite (the Figure 7 campaign).
-
-    Deprecated: use ``Session().run_campaign(...)``.
-    """
-    warnings.warn(
-        "run_all_suites() is deprecated; use repro.harness.session."
-        "Session.run_campaign() instead",
-        DeprecationWarning, stacklevel=2)
-    return _compat_session(verbose).run_campaign(
-        apps, policies=policies, preset=preset, config=config)

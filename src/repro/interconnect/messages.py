@@ -62,10 +62,54 @@ class Message:
     #: correct guess lets the receiver skip the PIT hash search.
     frame_guess: "int | None" = None
     payload: dict = field(default_factory=dict)
+    #: Per-link sequence number stamped by a :class:`SequenceTracker`
+    #: when the fault plane is active (``-1`` = unsequenced).
+    seq: int = -1
 
     def __post_init__(self) -> None:
         if self.src_node < 0 or self.dst_node < 0:
             raise ValueError("message endpoints must be valid node ids")
+
+
+class SequenceTracker:
+    """Per-link sequence numbers with receiver-side dedup.
+
+    Under a fault plan, every (src, dst) link stamps its messages with a
+    monotonically increasing sequence number and the receiver remembers
+    the highest number it has *accepted*.  Because a link delivers its
+    accepted messages in stamp order (a retransmission reuses the
+    original stamp), a duplicate or replayed message always arrives with
+    ``seq <= accepted`` and is discarded — protocol handlers run at most
+    once per stamp, which is what makes duplication idempotent.
+    """
+
+    __slots__ = ("_next", "_accepted", "dedup_drops")
+
+    def __init__(self) -> None:
+        self._next: "dict[tuple[int, int], int]" = {}
+        self._accepted: "dict[tuple[int, int], int]" = {}
+        self.dedup_drops = 0
+
+    def stamp(self, src: int, dst: int) -> int:
+        """Assign the next sequence number for the src->dst link."""
+        link = (src, dst)
+        seq = self._next.get(link, 0)
+        self._next[link] = seq + 1
+        return seq
+
+    def accept(self, src: int, dst: int, seq: int) -> bool:
+        """Receiver-side check: ``True`` for a fresh message, ``False``
+        (counted in :attr:`dedup_drops`) for a duplicate/replay."""
+        link = (src, dst)
+        if seq <= self._accepted.get(link, -1):
+            self.dedup_drops += 1
+            return False
+        self._accepted[link] = seq
+        return True
+
+    def seen(self, src: int, dst: int, seq: int) -> bool:
+        """Would :meth:`accept` reject this stamp? (no side effects)."""
+        return seq <= self._accepted.get((src, dst), -1)
 
 
 class MessageLog:

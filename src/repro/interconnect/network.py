@@ -10,6 +10,7 @@ model the network as: per-node network-interface (NI) occupancy — which
 
 from __future__ import annotations
 
+from repro.interconnect.messages import MessageKind
 from repro.sim.engine import Resource
 from repro.sim.latency import LatencyModel
 
@@ -30,15 +31,25 @@ class Network:
         #: cycles), installed by the machine when it runs under a
         #: :class:`~repro.sim.engine.SchedulePerturbation`.
         self.jitter = None
+        #: Optional fault plane (a
+        #: :class:`~repro.faults.injector.FaultInjector`), installed by
+        #: the machine when it runs under a fault plan.  None keeps the
+        #: fault-free path at a single pointer test.
+        self.faults = None
 
-    def send(self, src_node: int, dst_node: int, now: int) -> int:
+    def send(self, src_node: int, dst_node: int, now: int,
+             kind: "MessageKind" = MessageKind.DATA_REPLY) -> int:
         """One message hop; returns its arrival time at ``dst_node``.
 
         Intra-node "hops" (src == dst) are free — the controller talks
         to itself through the bus, which the caller already charged.
+        ``kind`` classifies the hop for the fault plane's rule matching
+        (ignored — not even read — on the fault-free path).
         """
         if src_node == dst_node:
             return now
+        if self.faults is not None:
+            return self.faults.deliver(self, src_node, dst_node, now, kind)
         self.messages += 1
         self.hops_charged += 1
         # NI occupancy is carved out of the one-way latency so that an
@@ -49,12 +60,13 @@ class Network:
             arrival += self.jitter()
         return arrival
 
-    def multicast(self, src_node: int, dst_nodes: "list[int]", now: int) -> "list[int]":
+    def multicast(self, src_node: int, dst_nodes: "list[int]", now: int,
+                  kind: "MessageKind" = MessageKind.DATA_REPLY) -> "list[int]":
         """Send to several nodes; injections serialize at the source NI.
 
         Returns per-destination arrival times, in ``dst_nodes`` order.
         """
         arrivals = []
         for dst in dst_nodes:
-            arrivals.append(self.send(src_node, dst, now))
+            arrivals.append(self.send(src_node, dst, now, kind))
         return arrivals

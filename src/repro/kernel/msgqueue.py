@@ -50,6 +50,12 @@ class MessageChannel:
         self.sends = 0
         self.receives = 0
         self.full_rejections = 0
+        #: Duplicated deposits discarded by sequence-number dedup (only
+        #: ever non-zero under a fault plan that duplicates COMMAND
+        #: messages; see ``repro.faults``).
+        self.dedup_drops = 0
+        self._next_seq = 0
+        self._last_accepted = -1
 
         # Each endpoint pins a command-mode frame; the controller
         # recognizes accesses to it as commands, not memory traffic.
@@ -85,11 +91,21 @@ class MessageChannel:
         t = self.src.controller.resource.acquire(t, lat.ctrl_dispatch)
         self.src.msglog.record(MessageKind.COMMAND)
         arrival = self.machine.network.send(self.src.node_id,
-                                            self.dst.node_id, t)
+                                            self.dst.node_id, t,
+                                            MessageKind.COMMAND)
         # Receiver-side controller deposits into the command frame
         # (off the sender's critical path).
+        seq = self._next_seq
+        self._next_seq = seq + 1
         self.dst.controller.resource.acquire(arrival, lat.ctrl_dispatch)
-        self._queue.append((payload, arrival + lat.ctrl_dispatch))
+        self._queue.append((payload, arrival + lat.ctrl_dispatch, seq))
+        faults = getattr(self.machine, "faults", None)
+        if faults is not None and faults.consume_duplicate():
+            # The fault plane delivered this deposit twice: the copy
+            # carries the same sequence number and is queued for real —
+            # ``receive`` discards it (idempotent delivery).
+            self.dst.controller.resource.acquire(arrival, lat.ctrl_dispatch)
+            self._queue.append((payload, arrival + lat.ctrl_dispatch, seq))
         self.sends += 1
         return t
 
@@ -102,14 +118,23 @@ class MessageChannel:
         lat = self.lat
         t = self.dst.bus.request(now)
         t = self.dst.bus.transfer(t)
-        if not self._queue:
-            return None
-        payload, ready = self._queue[0]
-        if ready > now:
-            return None
-        self._queue.popleft()
-        self.receives += 1
-        return payload, t
+        while self._queue:
+            payload, ready, seq = self._queue[0]
+            if ready > now:
+                return None
+            self._queue.popleft()
+            if seq <= self._last_accepted:
+                # A duplicated deposit (fault plane): same sequence
+                # number as an already-accepted message — discard it.
+                self.dedup_drops += 1
+                faults = getattr(self.machine, "faults", None)
+                if faults is not None:
+                    faults.count_dedup_drop()
+                continue
+            self._last_accepted = seq
+            self.receives += 1
+            return payload, t
+        return None
 
     def pending(self) -> int:
         """Messages queued at the receiver."""

@@ -312,13 +312,15 @@ class NodeKernel:
         for client_id in sorted(dir_page.clients):
             client = machine.nodes[client_id]
             node.msglog.record(MessageKind.PAGE_OUT_REQ)
-            arrival = machine.network.send(node.node_id, client_id, now)
+            arrival = machine.network.send(node.node_id, client_id, now,
+                                           MessageKind.PAGE_OUT_REQ)
             entry = client.pit.entry_for_gpage(gpage)
             done = arrival + lat.pageout_kernel
             if entry is not None:
                 done = client.kernel.page_out_client(entry.frame, arrival)
             client.msglog.record(MessageKind.PAGE_OUT_ACK)
-            ack = machine.network.send(client_id, node.node_id, done)
+            ack = machine.network.send(client_id, node.node_id, done,
+                                       MessageKind.PAGE_OUT_ACK)
             if ack > last_ack:
                 last_ack = ack
         dir_page.clients.clear()

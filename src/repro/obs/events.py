@@ -39,6 +39,13 @@ EVENT_SCHEMA: "dict[str, dict[str, type]]" = {
              "version": int},
     "write": {"time": int, "cpu": int, "vaddr": int, "value": int,
               "version": int},
+    # Fault plane (``repro.faults``): one event per injected message
+    # fault (action in drop/duplicate/delay/reorder/retransmit) and one
+    # per node death (also recorded by ``Machine.fail_node`` itself via
+    # the ``node_fail`` trace hook).
+    "fault_inject": {"time": int, "action": str, "msg": str, "src": int,
+                     "dst": int},
+    "node_fail": {"time": int, "node": int},
 }
 
 

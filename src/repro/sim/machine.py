@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core.controller import CoherenceController
-from repro.core.directory import Directory
+from repro.core.directory import Directory, DirState
+from repro.core.finegrain import Tag
 from repro.core.migration import MigrationManager
 from repro.core.modes import PageMode
 from repro.core.policies import PageModePolicy, make_policy
@@ -99,6 +100,17 @@ class Node:
         self.kernel: "NodeKernel | None" = None  # set by the machine
 
 
+class DeadlineExceeded(RuntimeError):
+    """The run passed its simulated-time deadline.
+
+    Raised by the event loop when ``Machine(deadline=...)`` is set and a
+    CPU's clock crosses it, and by the fault plane when a lost message
+    would make a requester wait forever.  The chaos harness
+    (``repro.faults.campaign``) uses it as the hang oracle: a resilient
+    protocol either finishes or fails cleanly before any sane deadline.
+    """
+
+
 @dataclass
 class RunResult:
     """Outcome of one workload run."""
@@ -123,7 +135,8 @@ class Machine:
     def __init__(self, config: "MachineConfig | None" = None,
                  policy: "PageModePolicy | str" = "scoma",
                  page_cache_override: "list[int] | None" = None,
-                 schedule=None) -> None:
+                 schedule=None, faults=None,
+                 deadline: "int | None" = None) -> None:
         """Build a machine.
 
         ``page_cache_override`` gives a per-node client page-cache
@@ -137,6 +150,14 @@ class Machine:
         conformance suite (``repro.verify``) uses it to explore event
         orderings.  ``None`` (the default) is the unperturbed schedule
         and costs the hot path nothing.
+
+        ``faults`` takes a :class:`~repro.faults.injector.FaultInjector`
+        (or a bare :class:`~repro.faults.plan.FaultPlan`, wrapped with
+        the default seed) and routes every inter-node hop through the
+        fault plane; ``deadline`` bounds the run in simulated cycles
+        (:class:`DeadlineExceeded` past it — the chaos hang oracle).
+        Both default to ``None``, which keeps the fault-free fast paths
+        and byte-identical results.
         """
         self.config = config if config is not None else MachineConfig()
         if isinstance(policy, str):
@@ -155,6 +176,17 @@ class Machine:
         self.schedule = schedule
         if schedule is not None:
             schedule.reset()
+        #: Optional fault plane (``repro.faults``); like ``schedule``,
+        #: must be set before nodes are built so the controllers can
+        #: hoist the hook.  A bare FaultPlan is wrapped in an injector.
+        if faults is not None:
+            from repro.faults.injector import FaultInjector
+            from repro.faults.plan import FaultPlan
+            if isinstance(faults, FaultPlan):
+                faults = FaultInjector(faults)
+        self.faults = faults
+        #: Simulated-cycle budget; None = unbounded.
+        self.deadline = deadline
         cfg = self.config
         lat = cfg.latency
 
@@ -184,6 +216,8 @@ class Machine:
         self.network = Network(cfg.num_nodes, lat)
         if schedule is not None:
             self.network.jitter = schedule.next_jitter
+        if faults is not None:
+            self.network.faults = faults
         self.ipc = GlobalIpcServer(cfg.num_nodes, cfg.page_bytes)
         self.layout = AddressSpaceLayout(self.ipc, cfg.page_bytes)
         self.migration = MigrationManager(self)
@@ -221,6 +255,9 @@ class Machine:
             self._obs.histogram("sim.access_latency_cycles",
                                 policy=self.policy.name)
             if self._obs is not None else None)
+
+        if faults is not None:
+            faults.bind(self)
 
     # ------------------------------------------------------------------
     # Home lookup.
@@ -269,6 +306,11 @@ class Machine:
         self._barrier_hook = hook
 
     def _event_loop(self) -> None:
+        if self.faults is not None or self.deadline is not None:
+            # Fault plans and deadlines need per-event checks, which the
+            # fused-handoff fast loop below skips by design; they take a
+            # separate loop so the fault-free path stays untouched.
+            return self._event_loop_guarded()
         schedule = self.schedule
         if schedule is None:
             heap = [(0, cpu.cpu_id) for cpu in self.cpus]
@@ -306,10 +348,67 @@ class Machine:
                     remaining -= 1
                 break
         if remaining:
+            # CPUs killed externally (fail_node mid-run) are marked done
+            # without ever returning "done", so ``remaining`` alone
+            # over-counts; only genuinely blocked CPUs are a deadlock.
             stuck = [c.cpu_id for c in self.cpus if not c.done]
-            raise RuntimeError(
-                "deadlock: CPUs %r blocked with empty event heap (mismatched "
-                "barriers or locks in the workload?)" % stuck)
+            if stuck:
+                raise RuntimeError(
+                    "deadlock: CPUs %r blocked with empty event heap "
+                    "(mismatched barriers or locks in the workload?)" % stuck)
+
+    def _event_loop_guarded(self) -> None:
+        """The event loop under a fault plan and/or a deadline.
+
+        Functionally the same scheduler, minus the fused fast handoff:
+        every step goes through the heap so the loop can apply scheduled
+        node failures, stall CPUs of paused nodes, and enforce the
+        simulated-time deadline at each event.
+        """
+        schedule = self.schedule
+        if schedule is None:
+            heap = [(0, cpu.cpu_id) for cpu in self.cpus]
+        else:
+            heap = [(schedule.cpu_offset(cpu.cpu_id), cpu.cpu_id)
+                    for cpu in self.cpus]
+        heapq.heapify(heap)
+        self._heap = heap
+        cpus = self.cpus
+        faults = self.faults
+        deadline = self.deadline
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        remaining = len(cpus)
+        while heap:
+            t, cid = heappop(heap)
+            if deadline is not None and t > deadline:
+                raise DeadlineExceeded(
+                    "simulated-time deadline %d exceeded at cycle %d"
+                    % (deadline, t))
+            if faults is not None:
+                faults.on_tick(self, t)
+                release = faults.release_time(cpus[cid].node.node_id, t)
+                if release > t:
+                    # The CPU's node is paused: it stalls until the
+                    # pause window ends, then resumes where it was.
+                    heappush(heap, (release, cid))
+                    continue
+            cpu = cpus[cid]
+            if cpu.done:
+                continue
+            if t > cpu.time:
+                cpu.time = t
+            status = self._run_cpu(cpu, heap[0][0] if heap else None)
+            if status == "ready":
+                heappush(heap, (cpu.time, cid))
+            elif status == "done":
+                remaining -= 1
+        if remaining:
+            stuck = [c.cpu_id for c in self.cpus if not c.done]
+            if stuck:
+                raise RuntimeError(
+                    "deadlock: CPUs %r blocked with empty event heap "
+                    "(mismatched barriers or locks in the workload?)" % stuck)
 
     def _wake(self, cpu_id: int, when: int) -> None:
         cpu = self.cpus[cpu_id]
@@ -699,7 +798,7 @@ class Machine:
     # Finalization.
     # ------------------------------------------------------------------
 
-    def fail_node(self, node_id: int) -> None:
+    def fail_node(self, node_id: int, now: int = -1) -> None:
         """Fail-stop a node (section 3.3's failure model).
 
         The node's CPUs halt and its resources become unreachable.
@@ -708,12 +807,58 @@ class Machine:
         only transactions that *need* the dead node (pages homed or
         owned there) fail — with :class:`NodeFailedError`, the simulated
         analogue of terminating the applications using that node.
+
+        Survivor state is scrubbed eagerly rather than lazily at each
+        later miss: the dead node is pruned from every surviving
+        directory's sharer lists (a SHARED line with no sharers left
+        reverts to HOME_EXCL, like a replacement hint would) and from
+        client lists, and surviving PIT entries whose dynamic-home hint
+        still points at the corpse are reset to the true home so later
+        requests don't chase a forwarding chain through it.  A line
+        *owned* by the dead node stays owned — the only valid copy died
+        with it, and touching it keeps raising ``NodeFailedError``.
+
+        ``now`` is the simulated failure time (for the obs event;
+        ``-1`` when failed outside a run).
         """
         if not 0 <= node_id < len(self.nodes):
             raise ValueError("no node %d" % node_id)
+        if node_id in self.failed_nodes:
+            return
         self.failed_nodes.add(node_id)
         for cpu in self.nodes[node_id].cpus:
             cpu.done = True
+        sharers_pruned = 0
+        hints_reset = 0
+        for node in self.nodes:
+            if node.node_id in self.failed_nodes:
+                continue
+            for dir_page in node.directory.pages():
+                dir_page.clients.discard(node_id)
+                home_entry = (node.pit.entry_or_none(dir_page.home_frame)
+                              if dir_page.home_frame is not None else None)
+                home_tags = home_entry.tags if home_entry is not None else None
+                for lip, dl in enumerate(dir_page.lines):
+                    if node_id in dl.sharers:
+                        dl.sharers.discard(node_id)
+                        sharers_pruned += 1
+                        if dl.state == DirState.SHARED and not dl.sharers:
+                            dl.state = DirState.HOME_EXCL
+                            dl.owner = -1
+                            if home_tags is not None:
+                                home_tags.set(lip, Tag.EXCLUSIVE)
+            for entry in node.pit.frames():
+                if entry.gpage >= 0 and entry.dynamic_home == node_id:
+                    true_home = self.dynamic_home_of(entry.gpage)
+                    if true_home != node_id:
+                        entry.dynamic_home = true_home
+                        entry.home_frame = None
+                        hints_reset += 1
+        obs.counter("sim.node_failures", node=str(node_id)).inc()
+        obs.gauge("sim.failed_nodes").set(len(self.failed_nodes))
+        if sharers_pruned or hints_reset:
+            obs.counter("sim.failover_sharers_pruned").inc(sharers_pruned)
+            obs.counter("sim.failover_hints_reset").inc(hints_reset)
 
     def shared_resources(self) -> "list[Resource]":
         """Every shared hardware resource (buses, memory ports,

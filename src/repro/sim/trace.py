@@ -45,8 +45,10 @@ PromoteEvent = namedtuple(
     "PromoteEvent", "time node gpage")
 MigrateEvent = namedtuple(
     "MigrateEvent", "gpage old_home new_home")
+NodeFailEvent = namedtuple(
+    "NodeFailEvent", "time node")
 
-KINDS = ("access", "fault", "pageout", "promote", "migrate")
+KINDS = ("access", "fault", "pageout", "promote", "migrate", "node_fail")
 
 #: Structured-event kind for each in-memory event type (the sink's
 #: schema field names match the namedtuple fields).
@@ -56,6 +58,7 @@ _KIND_OF = {
     PageOutEvent: "pageout",
     PromoteEvent: "promote",
     MigrateEvent: "migrate",
+    NodeFailEvent: "node_fail",
 }
 
 class TraceRecorder:
@@ -103,6 +106,8 @@ class TraceRecorder:
                     self._wrap(kernel, "page_out_client", self._on_pageout)
         if "migrate" in self.kinds:
             self._wrap(machine.migration, "migrate", self._on_migrate)
+        if "node_fail" in self.kinds:
+            self._wrap(machine, "fail_node", self._on_node_fail)
 
     def detach(self) -> None:
         # _wrap installed instance attributes shadowing the (class)
@@ -160,6 +165,11 @@ class TraceRecorder:
     def _on_migrate(self, migration, _orig, args, _kwargs, _result) -> None:
         gpage, new_home = args
         self._record(MigrateEvent(gpage, -1, new_home))
+
+    def _on_node_fail(self, _machine, _orig, args, kwargs, _result) -> None:
+        node_id = args[0] if args else kwargs["node_id"]
+        now = kwargs.get("now", args[1] if len(args) > 1 else -1)
+        self._record(NodeFailEvent(now, node_id))
 
     # -- reporting -----------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""CLI surface of the fault subsystem: ``repro chaos``."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.harness.cli import main
+
+pytestmark = pytest.mark.faults
+
+
+def test_chaos_default_campaign_passes(capsys):
+    assert main(["chaos", "--seed", "3", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign: seed=3, 3 runs" in out
+    assert "-> OK" in out
+
+
+def test_chaos_is_reproducible_across_invocations(capsys):
+    assert main(["chaos", "--seed", "7", "--rounds", "3"]) == 0
+    first = capsys.readouterr().out
+    assert main(["chaos", "--seed", "7", "--rounds", "3"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_chaos_replays_a_json_plan(tmp_path, capsys):
+    plan = FaultPlan().drop(0.3, kinds="requests", end=100_000)
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps(plan.to_dict()))
+    assert main(["chaos", "--seed", "5", "--rounds", "2",
+                 "--test", "mp_scoma", "--plan", str(plan_file)]) == 0
+    out = capsys.readouterr().out
+    assert "drop p=0.30" in out
+    assert "COMPLETED_SC" in out
+
+
+def test_chaos_no_retry_detects_the_hang(tmp_path, capsys):
+    # The mutation self-test from the CLI: with the retransmission
+    # layer disabled, a seeded drop plan must be caught as HUNG and
+    # the exit code must go nonzero.
+    plan = FaultPlan().drop(0.3, kinds="requests", end=100_000)
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps(plan.to_dict()))
+    assert main(["chaos", "--seed", "5", "--rounds", "1",
+                 "--test", "mp_scoma", "--plan", str(plan_file),
+                 "--no-retry"]) == 1
+    out = capsys.readouterr().out
+    assert "HUNG" in out
+    assert "-> FAIL" in out
+
+
+def test_chaos_unknown_test_is_an_error(capsys):
+    assert main(["chaos", "--test", "nonesuch"]) == 2
+    assert "unknown litmus tests: nonesuch" in capsys.readouterr().out
+
+
+def test_chaos_rejects_bad_rounds():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--rounds", "0"])

@@ -1,0 +1,157 @@
+"""The FaultPlan DSL: validation, kind resolution, serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import (FaultPlan, LinkPartition, MessageRule, NodeFailure,
+                          NodePause, resolve_kinds)
+from repro.faults.plan import ACTIONS, KIND_CLASSES
+from repro.interconnect.messages import MessageKind
+
+pytestmark = pytest.mark.faults
+
+
+class TestResolveKinds:
+    def test_none_and_all_match_everything(self):
+        assert resolve_kinds(None) is None
+        assert resolve_kinds("all") is None
+
+    def test_single_kind_by_enum_and_name(self):
+        assert resolve_kinds(MessageKind.READ_REQ) == {MessageKind.READ_REQ}
+        assert resolve_kinds("READ_REQ") == {MessageKind.READ_REQ}
+
+    def test_class_names(self):
+        assert resolve_kinds("requests") == KIND_CLASSES["requests"]
+        assert MessageKind.DATA_REPLY in resolve_kinds("replies")
+
+    def test_iterables_union(self):
+        kinds = resolve_kinds(["requests", "ACK"])
+        assert kinds == KIND_CLASSES["requests"] | {MessageKind.ACK}
+
+    def test_all_inside_iterable_widens_to_everything(self):
+        assert resolve_kinds(["requests", "all"]) is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown message kind"):
+            resolve_kinds("nonesuch")
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(ValueError, match="empty kind filter"):
+            resolve_kinds([])
+
+    def test_kind_classes_cover_every_kind(self):
+        covered = frozenset().union(*KIND_CLASSES.values())
+        assert covered == frozenset(MessageKind)
+
+
+class TestClauseValidation:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            MessageRule(action="mangle", probability=0.5)
+
+    def test_probability_bounds(self):
+        for p in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="probability"):
+                MessageRule(action="drop", probability=p)
+
+    def test_delay_needs_cycles(self):
+        for action in ("delay", "reorder"):
+            with pytest.raises(ValueError, match="cycles"):
+                MessageRule(action=action, probability=0.5, cycles=0)
+
+    def test_window_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            MessageRule(action="drop", probability=0.5, start=100, end=50)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            NodePause(node=-1, start=0, end=10)
+        with pytest.raises(ValueError):
+            NodeFailure(node=-1, at=0)
+        with pytest.raises(ValueError):
+            LinkPartition(frozenset({-1}), start=0)
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            LinkPartition(frozenset(), start=0)
+
+
+class TestRuleMatching:
+    def test_applies_respects_window_kinds_and_endpoints(self):
+        rule = MessageRule(action="drop", probability=1.0,
+                           kinds=resolve_kinds("requests"),
+                           start=100, end=200, src=0, dst=1)
+        assert rule.applies(MessageKind.READ_REQ, 0, 1, 150)
+        assert not rule.applies(MessageKind.READ_REQ, 0, 1, 99)    # early
+        assert not rule.applies(MessageKind.READ_REQ, 0, 1, 200)   # end excl
+        assert not rule.applies(MessageKind.DATA_REPLY, 0, 1, 150)  # kind
+        assert not rule.applies(MessageKind.READ_REQ, 2, 1, 150)   # src
+        assert not rule.applies(MessageKind.READ_REQ, 0, 2, 150)   # dst
+
+    def test_partition_severs_only_the_cut(self):
+        part = LinkPartition(frozenset({0, 1}), start=0, end=100)
+        assert part.severs(0, 2, 50)
+        assert part.severs(2, 1, 50)
+        assert not part.severs(0, 1, 50)   # inside the set
+        assert not part.severs(2, 3, 50)   # inside the complement
+        assert not part.severs(0, 2, 100)  # window closed
+
+
+class TestFaultPlan:
+    def make(self):
+        return (FaultPlan()
+                .drop(0.2, kinds="requests", start=0, end=50_000)
+                .duplicate(0.1, kinds="command")
+                .delay(0.5, cycles=300, kinds="replies")
+                .reorder(0.3, cycles=100)
+                .pause_node(2, start=10_000, end=20_000)
+                .partition({3}, start=30_000, end=40_000)
+                .fail_node(1, at=80_000))
+
+    def test_empty_and_nonempty(self):
+        assert FaultPlan().is_empty()
+        assert not self.make().is_empty()
+        assert FaultPlan().describe() == "empty plan (fault-free)"
+
+    def test_fluent_builders_accumulate(self):
+        plan = self.make()
+        assert [r.action for r in plan.message_rules] == [
+            "drop", "duplicate", "delay", "reorder"]
+        assert len(plan.pauses) == len(plan.partitions) == 1
+        assert len(plan.failures) == 1
+
+    def test_json_round_trip(self):
+        plan = self.make()
+        encoded = json.dumps(plan.to_dict())   # must be JSON-safe
+        back = FaultPlan.from_dict(json.loads(encoded))
+        assert back.to_dict() == plan.to_dict()
+        assert back.describe() == plan.describe()
+
+    def test_describe_mentions_every_clause(self):
+        text = self.make().describe()
+        for needle in ("drop p=0.20", "duplicate p=0.10", "delay p=0.50",
+                       "reorder p=0.30", "pause node 2", "partition [3]",
+                       "fail node 1 at 80000"):
+            assert needle in text
+
+    def test_sample_is_deterministic_in_the_rng(self):
+        a = FaultPlan.sample(random.Random(42), num_nodes=4)
+        b = FaultPlan.sample(random.Random(42), num_nodes=4)
+        assert a.to_dict() == b.to_dict()
+        assert not a.is_empty()
+
+    def test_sample_stays_within_the_documented_shape(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            plan = FaultPlan.sample(rng, num_nodes=4)
+            assert 1 <= len(plan.message_rules) <= 3
+            for rule in plan.message_rules:
+                assert rule.action in ACTIONS
+                assert 0.05 <= rule.probability <= 0.35
+                assert rule.end is not None   # finite windows only
+            for pause in plan.pauses:
+                assert 0 <= pause.node < 4
+            for failure in plan.failures:
+                assert False, "sample() must not hard-fail nodes"

@@ -4,9 +4,8 @@ import pytest
 
 import repro
 from repro.harness.figures import figure7_ascii, figure7_series, figure7_table
-from repro.harness.runner import (CAPPED_POLICIES, derive_page_cache_caps,
-                                  run_one)
-from repro.harness.session import Session
+from repro.harness.runner import CAPPED_POLICIES, derive_page_cache_caps
+from repro.harness.session import ExperimentSpec, Session
 from repro.harness.tables import table1, table2, table3, table4, table5
 
 
@@ -17,11 +16,9 @@ def suites():
     return Session().run_campaign(apps, preset="tiny", config=cfg)
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-def test_run_one_returns_result():
-    # The deprecated wrapper must keep producing real results.
-    result = run_one("fft", "scoma", preset="tiny",
-                     config=repro.tiny_config())
+def test_session_run_returns_result():
+    result = Session().run(ExperimentSpec("fft", "scoma", preset="tiny",
+                                          config=repro.tiny_config()))
     assert result.workload == "fft"
     assert result.policy == "scoma"
     assert result.stats.execution_cycles > 0

@@ -1,11 +1,8 @@
 """Tests for the parallel campaign engine (ExperimentSpec / Session)."""
 
-import warnings
-
 import pytest
 
 from repro.harness.report import CampaignProgress
-from repro.harness.runner import run_one, run_suite
 from repro.harness.session import (CACHE_SCHEMA, ExperimentSpec, Session,
                                    execute_spec)
 from repro.sim.config import MachineConfig, tiny_config
@@ -65,18 +62,19 @@ class TestSessionRun:
             [spec(policy="lanuma"), spec(policy="scoma")])
         assert [r.policy for r in results] == ["lanuma", "scoma"]
 
-    def test_workload_suite_matches_deprecated_runner(self):
+    def test_workload_suite_matches_single_runs(self):
         cfg = tiny_config()
-        new = Session().run_workload_suite("water-nsq", preset="tiny",
-                                           config=cfg)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = run_suite("water-nsq", preset="tiny", config=cfg)
-        assert list(new.results) == list(old.results)
-        assert new.page_cache_caps == old.page_cache_caps
-        for policy in new.results:
-            assert (new.results[policy].stats.to_dict()
-                    == old.results[policy].stats.to_dict())
+        suite = Session().run_workload_suite("water-nsq", preset="tiny",
+                                             config=cfg)
+        # Each suite cell must equal the same spec run standalone.
+        caps = suite.page_cache_caps
+        for policy in ("scoma", "lanuma"):
+            single = execute_spec(ExperimentSpec("water-nsq", policy,
+                                                 preset="tiny", config=cfg))
+            assert (suite.results[policy].stats.to_dict()
+                    == single.stats.to_dict())
+        assert caps == [max(1, int(0.7 * n.scoma_client_frames_peak))
+                        for n in suite.results["scoma"].stats.nodes]
 
     def test_bad_jobs_rejected(self):
         with pytest.raises(ValueError):
@@ -184,25 +182,17 @@ class TestMetricsCollection:
         assert deterministic(par.metrics) == deterministic(seq.metrics)
 
 
-class TestDeprecatedWrappers:
-    def test_run_one_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="run_one"):
-            result = run_one("fft", "scoma", preset="tiny",
-                             config=tiny_config())
-        assert result.stats.execution_cycles > 0
-
-    def test_run_suite_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="run_suite"):
-            suite = run_suite("fft", policies=("scoma", "lanuma"),
-                              preset="tiny", config=tiny_config())
-        assert set(suite.results) == {"scoma", "lanuma"}
-
-    def test_run_all_suites_warns(self):
-        from repro.harness.runner import run_all_suites
-        with pytest.warns(DeprecationWarning, match="run_all_suites"):
-            suites = run_all_suites(("fft",), policies=("scoma",),
-                                    preset="tiny", config=tiny_config())
-        assert "fft" in suites
+class TestRemovedWrappers:
+    def test_deprecated_free_functions_are_gone(self):
+        # run_one / run_suite / run_all_suites were deprecated by the
+        # parallel-harness change and have since been removed; the
+        # Session / ExperimentSpec API is the only entry point.
+        import repro.harness
+        import repro.harness.runner as runner
+        for name in ("run_one", "run_suite", "run_all_suites"):
+            assert not hasattr(repro.harness, name)
+            assert not hasattr(runner, name)
+            assert name not in repro.harness.__all__
 
 
 class TestProgress:

@@ -90,3 +90,87 @@ def test_survivor_state_remains_coherent(degraded):
                 # the dead node's frozen state is exempt
                 if "node 2" not in p and "(home 2)" not in p]
     assert problems == []
+
+
+def test_lanuma_access_to_failed_home_fails():
+    # LA-NUMA pages have no local backing: every miss goes to the home,
+    # so a failed home is fatal for that page even after earlier hits.
+    h = Harness(policy="lanuma")
+    page = h.page_homed_at(2)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))   # works while 2 is alive
+    h.machine.fail_node(2)
+    with pytest.raises(NodeFailedError):
+        h.read(h.cpu_on_node(0), h.vaddr(page, 1))
+
+
+def test_fail_node_eagerly_prunes_sharer_lists():
+    h = Harness()
+    page = h.page_homed_at(1)
+    line = h.vaddr(page, 0)
+    h.read(h.cpu_on_node(0), line)
+    h.read(h.cpu_on_node(2), line)
+    dl = h.dir_line(page, 0)
+    assert 2 in dl.sharers
+    h.machine.fail_node(2)
+    # Pruned at failure time — no write needed to flush the dead sharer.
+    assert 2 not in dl.sharers
+    assert 0 in dl.sharers
+
+
+def test_fail_node_prunes_sole_sharer_back_to_home_excl():
+    from repro.core.directory import DirState
+    h = Harness()
+    page = h.page_homed_at(1)
+    line = h.vaddr(page, 0)
+    h.read(h.cpu_on_node(2), line)               # node 2 is the only sharer
+    h.machine.fail_node(2)
+    dl = h.dir_line(page, 0)
+    assert dl.sharers == set() or not dl.sharers
+    assert dl.state == DirState.HOME_EXCL
+
+
+def test_fail_node_resets_stale_migration_hints():
+    h = Harness()
+    page = h.page_homed_at(1)
+    h.read(h.cpu_on_node(0), h.vaddr(page, 0))
+    entry = h.entry_at(0, page)
+    gpage = h.gpage(page)
+    # Simulate a stale lazy-migration hint pointing at the doomed node.
+    entry.dynamic_home = 2
+    entry.home_frame = None
+    h.machine.fail_node(2)
+    assert entry.dynamic_home == h.machine.dynamic_home_of(gpage)
+    assert entry.dynamic_home != 2
+    assert entry.home_frame is None
+
+
+def test_fail_node_emits_obs_counters():
+    from repro import obs
+    with obs.collecting() as registry:
+        h = Harness()
+        page = h.page_homed_at(1)
+        h.read(h.cpu_on_node(2), h.vaddr(page, 0))
+        h.machine.fail_node(2)
+    snapshot = registry.to_dict()
+    assert snapshot["counters"]["sim.node_failures{node=2}"] == 1
+    assert snapshot["counters"]["sim.failover_sharers_pruned"] >= 1
+    assert snapshot["gauges"]["sim.failed_nodes"] == 1
+
+
+def test_fail_node_is_idempotent():
+    from repro import obs
+    h = Harness()
+    with obs.collecting() as registry:
+        h.machine.fail_node(2)
+        h.machine.fail_node(2)   # no-op, no double counting
+    assert h.machine.failed_nodes == {2}
+    assert registry.to_dict()["counters"]["sim.node_failures{node=2}"] == 1
+
+
+def test_trace_recorder_records_node_fail():
+    from repro.sim.trace import NodeFailEvent, TraceRecorder
+    h = Harness()
+    with TraceRecorder(h.machine, kinds={"node_fail"}) as trace:
+        h.machine.fail_node(2, now=1_234)
+    assert trace.events == [NodeFailEvent(1_234, 2)]
+    assert trace.summary()["NodeFailEvent"] == 1

@@ -86,3 +86,60 @@ def test_same_node_endpoints_rejected(machine):
 def test_zero_capacity_rejected(machine):
     with pytest.raises(ChannelError):
         MessageChannel(machine, 0, 1, capacity=0)
+
+
+class TestFaultPlane:
+    """Channel behavior under a COMMAND-duplicating fault plan."""
+
+    def _machine_with_dups(self):
+        from repro.faults import FaultInjector, FaultPlan
+        plan = FaultPlan().duplicate(1.0, kinds="command")
+        return Machine(MachineConfig(num_nodes=4, cpus_per_node=1),
+                       faults=FaultInjector(plan, seed=1))
+
+    def test_duplicate_deposits_are_dedupped(self):
+        machine = self._machine_with_dups()
+        channel = MessageChannel(machine, 0, 1)
+        channel.send("once", now=0)
+        assert channel.pending() == 2  # the duplicate deposit is queued
+        got = channel.receive(now=1_000_000)
+        assert got is not None and got[0] == "once"
+        # The duplicate must never surface as a second payload.
+        assert channel.receive(now=2_000_000) is None
+        assert channel.dedup_drops == 1
+        assert machine.faults.stats.duplicated == 1
+        assert channel.pending() == 0
+
+    def test_stream_survives_duplication(self):
+        machine = self._machine_with_dups()
+        channel = MessageChannel(machine, 0, 1)
+        for i in range(4):
+            channel.send(i, now=i * 10_000)
+        got, clock = [], 10_000_000
+        while True:
+            out = channel.receive(clock)
+            if out is None:
+                break
+            got.append(out[0])
+            clock += 1_000
+        assert got == [0, 1, 2, 3]
+        assert channel.dedup_drops == 4
+
+    def test_duplicate_charges_receiver_controller(self):
+        machine = self._machine_with_dups()
+        channel = MessageChannel(machine, 0, 1)
+        resource = machine.nodes[1].controller.resource
+        busy_before = resource.busy_cycles
+        acq_before = resource.acquisitions
+        channel.send("x", now=0)
+        # Two deposits -> two controller dispatches at the receiver.
+        assert resource.acquisitions >= acq_before + 2
+        assert (resource.busy_cycles
+                >= busy_before + 2 * machine.config.latency.ctrl_dispatch)
+
+    def test_no_faults_attribute_is_harmless(self, channel):
+        # The default machine has faults=None; the gated lookups in
+        # send/receive must stay inert.
+        channel.send("plain", now=0)
+        assert channel.receive(now=1_000_000)[0] == "plain"
+        assert channel.dedup_drops == 0

@@ -75,6 +75,16 @@ echo "== protocol conformance: litmus suite + fixed-seed fuzz smoke =="
 python -m repro verify --suite litmus
 python -m repro verify --fuzz 40 --seed 0
 
+echo "== chaos smoke: seeded fault-injection campaign, twice =="
+# The campaign must pass (every verdict acceptable) and be perfectly
+# reproducible: two invocations with the same seed diff clean.
+python -m repro chaos --seed 7 --rounds 4 > "$workdir/chaos1.txt"
+python -m repro chaos --seed 7 --rounds 4 > "$workdir/chaos2.txt"
+if ! diff -u "$workdir/chaos1.txt" "$workdir/chaos2.txt"; then
+    echo "FAIL: chaos campaign is not reproducible across invocations" >&2
+    exit 1
+fi
+
 echo "== simulator throughput gate (quick matrix, 10% tolerance) =="
 # Best-of-5 rounds: the gate runs right after the test suite, so the
 # first rounds can be depressed by residual host load.

@@ -153,6 +153,30 @@ walks at every barrier with `repro run ... --check-invariants`.  See
 [VERIFICATION.md](VERIFICATION.md) for the DSL, the checker's soundness
 argument and extension recipes.
 
+## Faults & chaos
+
+`repro.faults` is the fault-injection and resilience subsystem: a
+declarative `FaultPlan` DSL (drop / duplicate / delay / reorder message
+classes with a probability inside a simulated-time window, pause and
+resume nodes, partition links, hard-fail a node at a chosen cycle), a
+deterministic seeded `FaultInjector` that applies the plan at every
+network delivery, and the recovery machinery the protocol needs to
+survive it — per-request timeouts with bounded exponential-backoff
+retransmission (`RetryPolicy`), per-link sequence numbers with
+receiver-side duplicate suppression, and graceful degradation that
+prunes a hard-failed node from directory sharer lists and PIT
+forwarding hints so survivors fail fast with
+`UnreachableNodeError` instead of hanging.  `ChaosCampaign` samples
+plans from one seed and runs the litmus suite under them; every run
+must complete sequentially consistent or fail cleanly
+(`NodeFailedError`) — never hang (simulated-time deadline), never
+silently corrupt (SC checker).  With no plan installed the fault plane
+costs one pointer test and results are byte-identical.  Run it with
+`repro chaos --seed S [--rounds N] [--plan FILE] [--no-retry]`; all
+injector activity surfaces as `faults.*` counters and `fault_inject` /
+`node_fail` structured events.  See [FAULTS.md](FAULTS.md) for the
+fault model, the plan JSON format and the verdict taxonomy.
+
 ## Performance
 
 The reference path is aggressively optimised but every fast path is
@@ -163,19 +187,6 @@ trajectory and the CI regression gate, and a cProfile recipe for
 single cells.  Workload generators can compress constant-stride
 reference sequences into block ops (`OP_READ_RUN`/`OP_WRITE_RUN`) via
 `SharedArray.read_run`/`write_run` or `repro.workloads.base.coalesce`.
-
-### Deprecation path
-
-The free functions `run_one(...)`, `run_suite(...)` and
-`run_all_suites(...)` in `repro.harness.runner` are deprecated: they
-still work — each builds an `ExperimentSpec` internally and produces
-identical results — but they emit a `DeprecationWarning`.  Migrate:
-
-| old | new |
-|---|---|
-| `run_one(w, p, preset=s, config=c)` | `Session().run(ExperimentSpec(w, p, preset=s, config=c))` |
-| `run_suite(w, preset=s)` | `Session().run_workload_suite(w, preset=s)` |
-| `run_all_suites(apps, preset=s)` | `Session().run_campaign(apps, preset=s)` |
 """
 
 
