@@ -24,6 +24,7 @@ uncontended transactions reproduce Table 1 and contended ones stretch.
 from __future__ import annotations
 
 from repro import obs
+from repro.obs import tracing
 from repro.core.directory import DirState
 from repro.core.finegrain import Tag
 from repro.core.modes import PageMode
@@ -103,6 +104,9 @@ class CoherenceController:
         else:
             self._obs_fetch = None
             self._obs_messages = None
+        # Causal tracing handle (None when no collector is installed;
+        # every span site below pays one pointer test).
+        self._tracer = tracing.current()
 
     # ------------------------------------------------------------------
     # Client side.
@@ -121,6 +125,7 @@ class CoherenceController:
         node = self.node
         machine = self.machine
         gpage = entry.gpage
+        tracer = self._tracer
         if entry.tags is not None:
             prior = entry.tags.get(lip)
             entry.tags.set(lip, Tag.TRANSIT)
@@ -134,6 +139,8 @@ class CoherenceController:
         res = self.resource
         occ = self._lat_dispatch if pit_free else self._lat_dispatch_pit
         start = res.next_free if res.next_free > now else now
+        if tracer is not None and start > now:
+            tracer.add("ctrl_queue", "queue", node.node_id, now, start)
         t = start + occ
         res.next_free = t
         res.busy_cycles += occ
@@ -166,6 +173,7 @@ class CoherenceController:
             if self._faults is not None:
                 t = self._faults.deliver(network, node_id, home_id, t, kind)
             else:
+                sent_at = t
                 network.messages += 1
                 network.hops_charged += 1
                 ni = network.interfaces[node_id]
@@ -177,15 +185,23 @@ class CoherenceController:
                 t = injected + self._net_flight
                 if self._jitter is not None:
                     t += self._jitter()
+                if tracer is not None:
+                    tracer.add("req:" + kind.name, "network", node_id,
+                               sent_at, t, dst=home_id)
         if home_id != true_home:
             t = self._reroute(entry, home_id, true_home, t)
             home_id = true_home
         home = machine.nodes[home_id]
 
+        home_span = (tracer.begin("home_service", "home", home_id, t,
+                                  gpage=gpage)
+                     if tracer is not None else None)
         t, sender_id, granted_excl = home.controller.home_service(
             requester=node.node_id, gpage=gpage, lip=lip,
             want_excl=want_excl, has_copy=has_copy,
             frame_guess=entry.home_frame, arrival=t, pit_free=pit_free)
+        if home_span is not None:
+            tracer.end(home_span, t)
 
         # Cache the home frame number for future fast reverse
         # translation, and the confirmed dynamic home.
@@ -201,6 +217,7 @@ class CoherenceController:
                 t = self._faults.deliver(network, sender_id, node_id, t,
                                          MessageKind.DATA_REPLY)
             else:
+                sent_at = t
                 network.messages += 1
                 network.hops_charged += 1
                 ni = network.interfaces[sender_id]
@@ -212,8 +229,13 @@ class CoherenceController:
                 t = injected + self._net_flight
                 if self._jitter is not None:
                     t += self._jitter()
+                if tracer is not None:
+                    tracer.add("reply:DATA_REPLY", "network", sender_id,
+                               sent_at, t, dst=node_id)
         occ = self._lat_dispatch
         start = res.next_free if res.next_free > t else t
+        if tracer is not None and start > t:
+            tracer.add("ctrl_queue", "queue", node_id, t, start)
         t = start + occ
         res.next_free = t
         res.busy_cycles += occ
@@ -493,15 +515,21 @@ class CoherenceController:
         dl.sharers.difference_update(machine.failed_nodes)
         issue = t
         last_ack = t
+        tracer = self._tracer
         for s in sharers:
             issue = self.resource.acquire(issue, lat.inval_issue)
             node.msglog.record(MessageKind.INVALIDATE)
+            inval_span = (tracer.begin("invalidate", "inval",
+                                       node.node_id, issue, target=s)
+                          if tracer is not None else None)
             arr = machine.network.send(node.node_id, s, issue,
                                        MessageKind.INVALIDATE)
             ack_ready = machine.nodes[s].controller.handle_invalidate(
                 gpage, lip, arr)
             ack = machine.network.send(s, node.node_id, ack_ready,
                                        MessageKind.ACK)
+            if inval_span is not None:
+                tracer.end(inval_span, ack)
             if ack > last_ack:
                 last_ack = ack
         if sharers:

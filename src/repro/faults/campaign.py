@@ -26,6 +26,7 @@ import random
 from repro.core.controller import NodeFailedError
 from repro.faults.injector import FaultInjector, RetryPolicy
 from repro.faults.plan import FaultPlan
+from repro.obs import tracing
 from repro.obs.events import EventSink
 from repro.sim.machine import DeadlineExceeded, Machine
 from repro.verify.checker import check_history
@@ -63,6 +64,11 @@ class ChaosRun:
     detail: str
     violations: "list[str]"
     fault_stats: "dict[str, int]"
+    #: The run's :class:`~repro.obs.tracing.TraceCollector` when the
+    #: run was traced (``trace=True``), else ``None``.  Deliberately
+    #: excluded from :meth:`describe` so traced and untraced campaigns
+    #: stay byte-identical on the reproducibility key.
+    trace: "object | None" = None
 
     @property
     def ok(self) -> bool:
@@ -82,44 +88,60 @@ class ChaosRun:
 
 def run_chaos(test: LitmusTest, plan: FaultPlan, seed: int = 0,
               retry: "RetryPolicy | None" = None,
-              deadline: int = DEFAULT_DEADLINE) -> ChaosRun:
+              deadline: int = DEFAULT_DEADLINE,
+              trace: bool = False) -> ChaosRun:
     """Run one litmus test under one fault plan and classify the outcome.
 
     Mirrors :func:`repro.verify.runner.run_litmus` minus the barrier
     invariant walks (a hard-failed node legitimately freezes its half of
     the protocol state, which the machine-wide walks would flag), plus
     the fault plane and the hang deadline.
+
+    ``trace=True`` installs a :class:`~repro.obs.tracing.TraceCollector`
+    (seeded with the run seed) for the duration of the run and attaches
+    it to the returned :class:`ChaosRun` — a failing run then comes with
+    the span tree of the transaction that hung or aborted, annotated
+    with the faults injected into it.  Tracing is passive: verdicts and
+    fault stats are identical either way.
     """
     sink = EventSink(capacity=100_000)
     injector = FaultInjector(plan, seed=seed, retry=retry, sink=sink)
-    machine = Machine(test.build_config(), policy=test.policy,
-                      faults=injector, deadline=deadline)
-    tracker = ValueTracker(machine, sink)
-    workload = LitmusWorkload(test)
-    verdict = Verdict.COMPLETED_SC
-    detail = ""
+    collector = None
+    if trace:
+        collector = tracing.install(tracing.TraceCollector(seed=seed))
     try:
-        machine.run(workload)
-    except DeadlineExceeded as exc:
-        verdict = Verdict.HUNG
-        detail = str(exc)
-    except NodeFailedError as exc:
-        verdict = Verdict.FAILED_CLEAN
-        detail = "%s: %s" % (type(exc).__name__, exc)
-    except RuntimeError as exc:
-        if machine.failed_nodes and str(exc).startswith("deadlock"):
-            # A node died holding up a barrier: the survivors block
-            # forever by design.  That is a clean partial failure, not
-            # a protocol hang — the dead node is known and reported.
+        machine = Machine(test.build_config(), policy=test.policy,
+                          faults=injector, deadline=deadline)
+        tracker = ValueTracker(machine, sink)
+        workload = LitmusWorkload(test)
+        verdict = Verdict.COMPLETED_SC
+        detail = ""
+        try:
+            machine.run(workload)
+        except DeadlineExceeded as exc:
+            verdict = Verdict.HUNG
+            detail = str(exc)
+        except NodeFailedError as exc:
             verdict = Verdict.FAILED_CLEAN
-            detail = ("nodes %s failed; surviving CPUs blocked on a "
-                      "barrier the dead node can never reach"
-                      % sorted(machine.failed_nodes))
-        else:
-            verdict = Verdict.CORRUPT
-            detail = "machine raised %s: %s" % (type(exc).__name__, exc)
+            detail = "%s: %s" % (type(exc).__name__, exc)
+        except RuntimeError as exc:
+            if machine.failed_nodes and str(exc).startswith("deadlock"):
+                # A node died holding up a barrier: the survivors block
+                # forever by design.  That is a clean partial failure, not
+                # a protocol hang — the dead node is known and reported.
+                verdict = Verdict.FAILED_CLEAN
+                detail = ("nodes %s failed; surviving CPUs blocked on a "
+                          "barrier the dead node can never reach"
+                          % sorted(machine.failed_nodes))
+            else:
+                verdict = Verdict.CORRUPT
+                detail = "machine raised %s: %s" % (type(exc).__name__, exc)
+        finally:
+            tracker.detach()
     finally:
-        tracker.detach()
+        if collector is not None:
+            collector.unwind("run aborted")
+            tracing.uninstall()
 
     violations = []
     if sink.dropped:
@@ -137,7 +159,7 @@ def run_chaos(test: LitmusTest, plan: FaultPlan, seed: int = 0,
         verdict = Verdict.CORRUPT
     return ChaosRun(test=test, plan=plan, seed=seed, verdict=verdict,
                     detail=detail, violations=violations,
-                    fault_stats=injector.stats.to_dict())
+                    fault_stats=injector.stats.to_dict(), trace=collector)
 
 
 @dataclass
@@ -187,7 +209,8 @@ class ChaosCampaign:
                  tests: "tuple[LitmusTest, ...]" = LITMUS_SUITE,
                  plan: "FaultPlan | None" = None,
                  retry: "RetryPolicy | None" = None,
-                 deadline: int = DEFAULT_DEADLINE) -> None:
+                 deadline: int = DEFAULT_DEADLINE,
+                 trace: bool = False) -> None:
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         if not tests:
@@ -198,6 +221,7 @@ class ChaosCampaign:
         self.plan = plan
         self.retry = retry
         self.deadline = deadline
+        self.trace = trace
 
     def run(self) -> ChaosReport:
         """Execute every round; deterministic in the campaign seed."""
@@ -210,5 +234,6 @@ class ChaosCampaign:
             if plan is None:
                 plan = FaultPlan.sample(rng, num_nodes=test.num_nodes)
             runs.append(run_chaos(test, plan, seed=run_seed,
-                                  retry=self.retry, deadline=self.deadline))
+                                  retry=self.retry, deadline=self.deadline,
+                                  trace=self.trace))
         return ChaosReport(seed=self.seed, runs=runs)

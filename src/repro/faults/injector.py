@@ -33,6 +33,7 @@ from __future__ import annotations
 import random
 
 from repro import obs
+from repro.obs import tracing
 from repro.core.controller import UnreachableNodeError
 from repro.interconnect.messages import MessageKind, SequenceTracker
 from repro.sim.machine import DeadlineExceeded
@@ -219,6 +220,12 @@ class FaultInjector:
                         "declaring node %d unreachable"
                         % (kind.name, src, dst, attempt + 1, dst))
                 t = injected + retry.timeout(attempt)
+                tracer = tracing.current()
+                if tracer is not None:
+                    # The back-off window the requester sat on before
+                    # this retransmission — the ``retry`` segment.
+                    tracer.add("retry:" + kind.name, "retry", src,
+                               injected, t, attempt=attempt + 1, dst=dst)
                 attempt += 1
                 self.stats.retransmissions += 1
                 self._note("retransmit", kind, src, dst, t)
@@ -255,6 +262,10 @@ class FaultInjector:
             self.seqs.accept(src, dst, stamp)
             self.stats.dedup_drops += 1
             obs.counter("faults.dedup_drops").inc()
+        tracer = tracing.current()
+        if tracer is not None:
+            tracer.add("net:" + kind.name, "network", src, t, arrival,
+                       dst=dst)
         return arrival
 
     def consume_duplicate(self) -> bool:
@@ -290,8 +301,18 @@ class FaultInjector:
         return None, 0
 
     def _note(self, action: str, kind, src: int, dst: int, now: int) -> None:
-        """Surface one fault as an obs counter and (optionally) event."""
+        """Surface one fault as an obs counter and (optionally) event.
+
+        With a trace collector installed the active transaction is also
+        annotated: a ``fault_<action>`` counter attr plus the message
+        kind the rule hit — a chaos failure's span tree says what was
+        injected into it.
+        """
         obs.counter("faults." + action, msg=kind.name).inc()
+        tracer = tracing.current()
+        if tracer is not None:
+            tracer.count("fault_" + action)
+            tracer.annotate(fault_msg=kind.name)
         if self.sink is not None:
             self.sink.emit("fault_inject", time=now, action=action,
                            msg=kind.name, src=src, dst=dst)

@@ -8,6 +8,11 @@ Commands:
 * ``microbench`` — Table 1 via the latency microbenchmark.
 * ``analyze``    — static characterization of a workload's references.
 * ``compare``    — diff two saved campaigns (regression check).
+* ``metrics``    — per-policy telemetry snapshots (filter/format options).
+* ``trace``      — causal transaction traces + critical-path breakdown.
+* ``top``        — live dashboard of a running campaign.
+* ``verify``     — protocol conformance (litmus suite / fuzzing).
+* ``chaos``      — fault-injection campaigns (optionally traced).
 * ``list``       — available workloads, policies, presets.
 """
 
@@ -119,6 +124,52 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: %s)" % DEFAULT_CACHE_DIR)
     metrics.add_argument("--no-cache", action="store_true",
                          help="always re-simulate, don't touch the cache")
+    metrics.add_argument("--filter", metavar="NAME_GLOB", default=None,
+                         help="only list metrics whose family name or "
+                              "full labelled key matches this glob "
+                              "(e.g. 'trace.*', 'kernel.frame_pool.*'); "
+                              "switches to the flat per-metric listing")
+    metrics.add_argument("--format", choices=["table", "json", "csv"],
+                         default="table",
+                         help="format of the flat per-metric listing "
+                              "(default: table; json and csv imply the "
+                              "flat listing even without --filter)")
+
+    trace = sub.add_parser(
+        "trace", help="record causal transaction traces and explain "
+                      "where the latency went (docs/OBSERVABILITY.md)")
+    trace.add_argument("workload", choices=APPLICATIONS)
+    trace.add_argument("--policy", default="scoma", choices=POLICY_NAMES)
+    trace.add_argument("--preset", default="tiny", choices=PRESET_NAMES)
+    trace.add_argument("--seed", type=int, default=0,
+                       help="span-id seed (default: 0); the same seed "
+                            "and workload reproduce identical traces")
+    trace.add_argument("--top", type=_positive_int, default=5,
+                       metavar="N",
+                       help="slowest transactions to print as span "
+                            "trees (default: 5)")
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="write every retained span as JSONL")
+    trace.add_argument("--chrome", metavar="FILE", default=None,
+                       help="write Chrome trace_event JSON (open at "
+                            "ui.perfetto.dev or chrome://tracing)")
+
+    top = sub.add_parser(
+        "top", help="run a campaign under a live terminal dashboard")
+    top.add_argument("--apps", nargs="*", default=list(APPLICATIONS),
+                     choices=APPLICATIONS, metavar="APP")
+    top.add_argument("--preset", default="small", choices=PRESET_NAMES)
+    top.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="worker processes (default: 1)")
+    top.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     metavar="DIR",
+                     help="on-disk result cache directory (default: %s)"
+                          % DEFAULT_CACHE_DIR)
+    top.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk result cache")
+    top.add_argument("--no-trace", action="store_true",
+                     help="skip the per-cell trace collector (the "
+                          "critical-path segment column stays empty)")
 
     verify = sub.add_parser(
         "verify", help="protocol conformance: litmus suite / schedule "
@@ -166,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the retransmission layer (the "
                             "mutation self-test mode: drop plans are "
                             "expected to hang)")
+    chaos.add_argument("--trace", action="store_true",
+                       help="run every round under a causal trace "
+                            "collector and print the span tree of each "
+                            "failing round (verdicts are unaffected)")
 
     sub.add_parser("list", help="list workloads, policies and presets")
     return parser
@@ -313,10 +368,32 @@ def cmd_chaos(args) -> int:
                 else DEFAULT_DEADLINE)
     campaign = ChaosCampaign(seed=args.seed, rounds=args.rounds,
                              tests=tests, plan=plan, retry=retry,
-                             deadline=deadline)
+                             deadline=deadline, trace=args.trace)
     report = campaign.run()
     print(report.summary())
+    if args.trace:
+        _print_chaos_traces(report)
     return 0 if report.ok else 1
+
+
+def _print_chaos_traces(report) -> None:
+    """Span trees for failing chaos rounds (``repro chaos --trace``).
+
+    For each HUNG/CORRUPT round, prints the causal trace of the
+    transaction that aborted (or, when none aborted, the slowest one)
+    — including the faults the injector annotated onto it."""
+    from repro.obs import tracing
+    for run in report.failures:
+        collector = run.trace
+        if collector is None:
+            continue
+        traces = collector.errored() or collector.slowest(1)
+        print("\n%s %s seed=%d — causal trace of the failing transaction:"
+              % (run.test.name, run.verdict, run.seed))
+        if not traces:
+            print("  (no transaction was in flight)")
+            continue
+        print(tracing.format_tree(traces[-1]))
 
 
 def cmd_suite(args) -> int:
@@ -420,10 +497,83 @@ def cmd_metrics(args) -> int:
         if result is None:
             result = session.run_instrumented(spec)
         results.append(result)
+    if args.filter is not None or args.format != "table":
+        return _emit_metric_rows(_metric_rows(results, args.filter),
+                                 args.format)
     for result in results:
         _print_metrics_detail(result)
     print()
     print(metrics_table(results).render())
+    return 0
+
+
+#: Columns of the flat per-metric listing (``--filter`` / ``--format``).
+_METRIC_COLUMNS = ("cell", "kind", "metric", "value", "count", "sum",
+                   "p50", "p99")
+
+#: Snapshot section -> row kind for the flat listing.
+_METRIC_KINDS = (("counters", "counter"), ("gauges", "gauge"),
+                 ("histograms", "histogram"), ("series", "series"))
+
+
+def _metric_rows(results, pattern: "str | None") -> "list[dict]":
+    """Flatten metrics snapshots into one row per metric.
+
+    ``pattern`` is an ``fnmatch`` glob matched against the family name
+    *and* the full labelled key (so both ``trace.*`` and
+    ``*{policy=scoma}`` work); None keeps everything.  Histograms
+    report count/sum/p50/p99, series their length and last value,
+    counters and gauges just the value.
+    """
+    from fnmatch import fnmatchcase
+
+    from repro.obs import parse_key, quantile
+    rows = []
+    for result in results:
+        cell = "%s/%s" % (result.workload, result.policy)
+        snap = result.metrics or {}
+        for section, kind in _METRIC_KINDS:
+            for key in sorted(snap.get(section, ())):
+                name, _labels = parse_key(key)
+                if pattern is not None and not (
+                        fnmatchcase(name, pattern)
+                        or fnmatchcase(key, pattern)):
+                    continue
+                value = snap[section][key]
+                row = dict.fromkeys(_METRIC_COLUMNS, "")
+                row.update(cell=cell, kind=kind, metric=key)
+                if kind == "histogram":
+                    row.update(count=value["count"], sum=value["sum"],
+                               p50=quantile(value, 0.50),
+                               p99=quantile(value, 0.99))
+                elif kind == "series":
+                    points = value.get("points", [])
+                    row.update(count=len(points),
+                               value=points[-1][1] if points else "")
+                else:
+                    row["value"] = value
+                rows.append(row)
+    return rows
+
+
+def _emit_metric_rows(rows: "list[dict]", fmt: str) -> int:
+    """Print the flat metric listing as a table, JSON or CSV."""
+    if fmt == "json":
+        import json
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    elif fmt == "csv":
+        import csv
+        import sys
+        writer = csv.DictWriter(sys.stdout,
+                                fieldnames=list(_METRIC_COLUMNS))
+        writer.writeheader()
+        writer.writerows(rows)
+    else:
+        from repro.harness.report import TextTable
+        table = TextTable("metrics", list(_METRIC_COLUMNS))
+        for row in rows:
+            table.add_row(*(row[column] for column in _METRIC_COLUMNS))
+        print(table.render())
     return 0
 
 
@@ -460,6 +610,87 @@ def _print_metrics_detail(result) -> None:
               % (rps[0][1], wall[0][1]))
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: causal traces + critical-path breakdown.
+
+    Runs one cell in-process under a
+    :class:`~repro.obs.tracing.TraceCollector`, then prints the
+    campaign-wide latency attribution by segment and the ``--top N``
+    slowest transactions as span trees, each with its per-segment
+    breakdown (segment cycles sum exactly to the transaction's
+    latency).  ``--out`` / ``--chrome`` export the retained spans.
+    """
+    from repro.harness.report import TextTable
+    from repro.obs import tracing
+    from repro.sim.machine import Machine
+    from repro.workloads import make_workload
+
+    with tracing.collecting(seed=args.seed) as collector:
+        machine = Machine(MachineConfig(), policy=args.policy)
+        machine.run(make_workload(args.workload, args.preset))
+
+    print("%s / %s (%s preset, seed %d): %d transactions, %d spans"
+          % (args.workload, args.policy, args.preset, args.seed,
+             collector.finished, collector.span_count))
+    if collector.evicted:
+        print("  (ring kept the most recent %d traces; %d evicted)"
+              % (len(collector.traces), collector.evicted))
+    rollup = collector.rollup()
+    total = sum(entry["cycles"] for entry in rollup.values())
+    table = TextTable("critical-path latency by segment",
+                      ["segment", "cycles", "share", "spans"])
+    for kind, entry in sorted(rollup.items(),
+                              key=lambda kv: (-kv[1]["cycles"], kv[0])):
+        share = ("%.1f%%" % (100.0 * entry["cycles"] / total)
+                 if total else "-")
+        table.add_row(kind, entry["cycles"], share, entry["count"])
+    print()
+    print(table.render())
+
+    for rank, trace in enumerate(collector.slowest(args.top), 1):
+        print("\n#%d  +%d cycles  trace %016x"
+              % (rank, trace.duration, trace.trace_id))
+        print(tracing.format_tree(trace))
+        parts = sorted(trace.breakdown.items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+        print("  segments: %s  (sum %d = duration %d)"
+              % (" ".join("%s=%d" % kv for kv in parts),
+                 sum(trace.breakdown.values()), trace.duration))
+
+    if args.out:
+        written = collector.write_spans(args.out)
+        print("\nwrote %d spans to %s" % (written, args.out))
+    if args.chrome:
+        events = collector.write_chrome(args.chrome)
+        print("wrote %d trace events to %s (open at ui.perfetto.dev)"
+              % (events, args.chrome))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """``repro top``: live dashboard of a running campaign.
+
+    Runs the campaign under a
+    :class:`~repro.harness.top.LiveCampaignView` — per-cell progress
+    with access-latency p50/p99, cache counters, worker utilization
+    and the rolling critical-path segment mix.  On a TTY the frame
+    repaints in place; piped output degrades to one line per cell.
+    """
+    from repro.harness.session import Session
+    from repro.harness.top import LiveCampaignView
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    view = LiveCampaignView(jobs=args.jobs)
+    session = Session(jobs=args.jobs, cache_dir=cache_dir, progress=view,
+                      collect_metrics=True, trace_cells=not args.no_trace)
+    session.run_campaign(tuple(args.apps), preset=args.preset)
+    if not view.repaint:
+        print()
+        print(view.render())
+    print(view.summary())
+    return 0
+
+
 def cmd_list(_args) -> int:
     """``repro list``: the available names."""
     print("workloads: %s" % ", ".join(APPLICATIONS))
@@ -479,6 +710,8 @@ def main(argv=None) -> int:
         "analyze": cmd_analyze,
         "compare": cmd_compare,
         "metrics": cmd_metrics,
+        "trace": cmd_trace,
+        "top": cmd_top,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
         "list": cmd_list,

@@ -141,7 +141,8 @@ def execute_spec(spec: ExperimentSpec) -> RunResult:
 
 
 def _worker_run(payload: "dict[str, object]",
-                collect_metrics: bool = False) -> "dict[str, object]":
+                collect_metrics: bool = False,
+                trace_cells: bool = False) -> "dict[str, object]":
     """Pool worker: simulate one cell, return JSON-safe stats.
 
     Takes and returns plain dicts so the worker handoff goes through
@@ -152,14 +153,23 @@ def _worker_run(payload: "dict[str, object]",
     does not affect the simulation result, so it must not perturb the
     cache key.  When set, the cell runs under a fresh
     :func:`repro.obs.collecting` registry and the snapshot rides along
-    as ``out["metrics"]``.
+    as ``out["metrics"]``.  ``trace_cells`` (implies metrics) also
+    installs a :class:`~repro.obs.tracing.TraceCollector` seeded with
+    the spec seed, so the snapshot carries the ``trace.*`` roll-ups
+    (per-segment critical-path histograms); like metrics collection it
+    never changes the statistics or the cache key.
     """
     started = time.perf_counter()
     spec = ExperimentSpec.from_payload(payload)
-    if collect_metrics:
+    if collect_metrics or trace_cells:
+        from repro.obs import tracing
         with obs.collecting() as registry:
             with obs.timer("harness.cell_wall_seconds"):
-                result = execute_spec(spec)
+                if trace_cells:
+                    with tracing.collecting(seed=spec.seed):
+                        result = execute_spec(spec)
+                else:
+                    result = execute_spec(spec)
         metrics = registry.to_dict()
     else:
         result = execute_spec(spec)
@@ -259,13 +269,14 @@ class _Scheduler:
         self._outstanding += 1
         cache = self._session.cache
         collect = self._session.collect_metrics
+        trace = self._session.trace_cells
         stats, metrics = (cache.load_with_metrics(spec)
                           if cache is not None else (None, None))
         if stats is not None:
             self._events.put((tag, spec, stats, metrics, True, 0.0, None))
         elif self._pool is None:
             try:
-                out = _worker_run(spec.to_payload(), collect)
+                out = _worker_run(spec.to_payload(), collect, trace)
             except Exception as exc:                # noqa: BLE001
                 self._events.put((tag, spec, None, None, False, 0.0, exc))
             else:
@@ -284,7 +295,7 @@ class _Scheduler:
                 self._events.put((tag, spec, None, None, False, 0.0, exc))
 
             self._pool.apply_async(_worker_run,
-                                   (spec.to_payload(), collect),
+                                   (spec.to_payload(), collect, trace),
                                    callback=_done, error_callback=_fail)
 
     def drain(self):
@@ -325,17 +336,24 @@ class Session:
     :mod:`repro.obs` registry; the snapshot lands on
     ``RunResult.metrics`` and rides along in the result cache.  It does
     not change cache keys or statistics — cached cells keep whatever
-    snapshot (possibly none) they were stored with.
+    snapshot (possibly none) they were stored with.  ``trace_cells``
+    additionally runs each simulated cell under a causal trace
+    collector so the snapshot includes the ``trace.*`` critical-path
+    roll-ups (this is what feeds the ``repro top`` segment column);
+    it implies metrics collection and is equally invisible to the
+    statistics and the cache key.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: "str | None" = None,
-                 progress=None, collect_metrics: bool = False) -> None:
+                 progress=None, collect_metrics: bool = False,
+                 trace_cells: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
         self.collect_metrics = collect_metrics
+        self.trace_cells = trace_cells
 
     # -- cache counters --------------------------------------------------
 
@@ -377,6 +395,7 @@ class Session:
                                        config=spec.resolved_config(),
                                        stats=stats, metrics=metrics)
             if self.progress is not None:
+                self._note_cell_metrics(spec, metrics)
                 self.progress.cell_done(spec.workload, spec.policy,
                                         seconds, cached)
         self._note_cache_progress()
@@ -431,6 +450,7 @@ class Session:
                                metrics=metrics)
             suites[app].results[spec.policy] = result
             if self.progress is not None:
+                self._note_cell_metrics(spec, metrics)
                 self.progress.cell_done(spec.workload, spec.policy,
                                         seconds, cached)
             if spec.policy == "scoma":
@@ -452,6 +472,18 @@ class Session:
     def _note_cache_progress(self) -> None:
         if self.progress is not None and self.cache is not None:
             self.progress.note_cache(self.cache.hits, self.cache.misses)
+
+    def _note_cell_metrics(self, spec: ExperimentSpec, metrics) -> None:
+        """Feed a completed cell's metrics snapshot to the progress
+        object when it wants one (duck-typed ``cell_metrics`` hook —
+        the live ``repro top`` view derives its rolling latency
+        breakdowns from these).  Called right *before* the cell's
+        ``cell_done`` so the view renders each cell exactly once."""
+        if metrics is None:
+            return
+        hook = getattr(self.progress, "cell_metrics", None)
+        if hook is not None:
+            hook(spec.workload, spec.policy, metrics)
 
     def run_instrumented(self, spec: ExperimentSpec, sink=None,
                          trace_kinds=None) -> RunResult:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum, auto
 
+from repro.obs import tracing
+
 
 class MessageKind(IntEnum):
     """Every message type the nodes exchange."""
@@ -65,10 +67,20 @@ class Message:
     #: Per-link sequence number stamped by a :class:`SequenceTracker`
     #: when the fault plane is active (``-1`` = unsequenced).
     seq: int = -1
+    #: Causal-trace context: the transaction (trace) and the span that
+    #: caused this message.  Auto-stamped from the active span of the
+    #: installed :class:`~repro.obs.tracing.TraceCollector` when left
+    #: at the defaults (``0`` = untraced).
+    trace_id: int = 0
+    span_id: int = 0
 
     def __post_init__(self) -> None:
         if self.src_node < 0 or self.dst_node < 0:
             raise ValueError("message endpoints must be valid node ids")
+        if self.trace_id == 0:
+            context = tracing.active_context()
+            if context is not None:
+                self.trace_id, self.span_id = context
 
 
 class SequenceTracker:

@@ -36,6 +36,12 @@ class Network:
         #: the machine when it runs under a fault plan.  None keeps the
         #: fault-free path at a single pointer test.
         self.faults = None
+        #: Optional causal-trace collector (a
+        #: :class:`~repro.obs.tracing.TraceCollector`), installed by
+        #: ``TraceCollector.bind_machine``.  Every hop taken inside an
+        #: active transaction becomes a ``network`` child span; with no
+        #: collector this is one pointer test.
+        self.tracer = None
 
     def send(self, src_node: int, dst_node: int, now: int,
              kind: "MessageKind" = MessageKind.DATA_REPLY) -> int:
@@ -58,6 +64,9 @@ class Network:
         arrival = injected + self.lat.net_latency - self.NI_OCCUPANCY
         if self.jitter is not None:
             arrival += self.jitter()
+        if self.tracer is not None:
+            self.tracer.add("net:" + kind.name, "network", src_node,
+                            now, arrival, dst=dst_node)
         return arrival
 
     def multicast(self, src_node: int, dst_nodes: "list[int]", now: int,

@@ -26,6 +26,7 @@ from collections import deque
 
 from repro.core.modes import PageMode
 from repro.interconnect.messages import MessageKind
+from repro.obs import tracing
 
 
 class ChannelError(RuntimeError):
@@ -84,6 +85,12 @@ class MessageChannel:
             self.full_rejections += 1
             raise ChannelError("channel full (capacity %d)" % self.capacity)
         lat = self.lat
+        # Causal tracing: a send is its own root span; its context rides
+        # in the queue so the receive can link back across CPUs.
+        tracer = tracing.current()
+        span = (tracer.begin("channel_send", "msg", self.src.node_id, now,
+                             dst=self.dst.node_id)
+                if tracer is not None else None)
         # Uncached stores of the payload into the command frame.
         t = self.src.bus.request(now)
         t = self.src.bus.transfer(t)
@@ -97,16 +104,21 @@ class MessageChannel:
         # (off the sender's critical path).
         seq = self._next_seq
         self._next_seq = seq + 1
+        context = tracer.context() if tracer is not None else None
         self.dst.controller.resource.acquire(arrival, lat.ctrl_dispatch)
-        self._queue.append((payload, arrival + lat.ctrl_dispatch, seq))
+        self._queue.append((payload, arrival + lat.ctrl_dispatch, seq,
+                            context))
         faults = getattr(self.machine, "faults", None)
         if faults is not None and faults.consume_duplicate():
             # The fault plane delivered this deposit twice: the copy
             # carries the same sequence number and is queued for real —
             # ``receive`` discards it (idempotent delivery).
             self.dst.controller.resource.acquire(arrival, lat.ctrl_dispatch)
-            self._queue.append((payload, arrival + lat.ctrl_dispatch, seq))
+            self._queue.append((payload, arrival + lat.ctrl_dispatch, seq,
+                                context))
         self.sends += 1
+        if span is not None:
+            tracer.end(span, t)
         return t
 
     def receive(self, now: int) -> "tuple[object, int] | None":
@@ -119,7 +131,7 @@ class MessageChannel:
         t = self.dst.bus.request(now)
         t = self.dst.bus.transfer(t)
         while self._queue:
-            payload, ready, seq = self._queue[0]
+            payload, ready, seq, context = self._queue[0]
             if ready > now:
                 return None
             self._queue.popleft()
@@ -133,6 +145,16 @@ class MessageChannel:
                 continue
             self._last_accepted = seq
             self.receives += 1
+            if context is not None:
+                tracer = tracing.current()
+                if tracer is not None:
+                    # The receive belongs to the *receiver's* causal
+                    # chain; link back to the send rather than mutating
+                    # the sender's completed trace.
+                    tracer.add_root(
+                        "channel_recv", "msg", self.dst.node_id, ready, t,
+                        link_trace="%016x" % context[0],
+                        link_span="%016x" % context[1])
             return payload, t
         return None
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro import obs
+from repro.obs import tracing
 from repro.core.modes import PageMode
 from repro.core.policies import PageModePolicy
 from repro.interconnect.messages import MessageKind
@@ -70,6 +71,8 @@ class NodeKernel:
         else:
             self._obs_fault = None
             self._obs_pageout = None
+        # Causal-tracing handle (None when no collector is installed).
+        self._tracer = tracing.current()
 
         #: Remote refetch counters for LA-NUMA pages (dyn-bidir).
         self.refetch_counts: "dict[int, int]" = {}
@@ -215,6 +218,10 @@ class NodeKernel:
             home_frame = home_node.kernel.ensure_home_mapping(gpage)
             home_node.kernel_resource.acquire(done, self.lat.fault_home_kernel)
             home_node.msglog.record(MessageKind.PAGE_IN_REPLY)
+            if self._tracer is not None:
+                self._tracer.add("page_in", "network", self.node.node_id,
+                                 done, done + self.lat.expected_fault_remote,
+                                 home=home)
             done += self.lat.expected_fault_remote
             self.home_status.add(gpage)
             self.node.stats.page_faults_remote_home += 1

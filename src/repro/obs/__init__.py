@@ -1,12 +1,16 @@
 """``repro.obs``: the unified observability layer.
 
-Two substrates, both strictly opt-in:
+Three substrates, all strictly opt-in:
 
 * **Metrics** (:mod:`repro.obs.registry`) — counters, gauges,
   log-bucket histograms and bounded time series, organized as labeled
   families in a :class:`MetricsRegistry`;
 * **Events** (:mod:`repro.obs.events`) — a typed, ordered, ring-buffered
-  structured-event sink with JSONL/CSV export and schema validation.
+  structured-event sink with JSONL/CSV export and schema validation;
+* **Causal tracing** (:mod:`repro.obs.tracing`) — span trees following
+  each coherence transaction end to end, with deterministic ids, an
+  exact critical-path latency breakdown, and JSONL / Chrome trace
+  export.
 
 Instrumented code calls the module-level helpers (:func:`counter`,
 :func:`gauge`, :func:`histogram`, :func:`series`, :func:`timer`).  With

@@ -125,8 +125,17 @@ class EventSink:
         return "\n".join(lines)
 
 
-def validate_event(event: "dict[str, object]") -> None:
+def validate_event(event: "dict[str, object]",
+                   last_seq: "int | None" = None) -> None:
     """Check one event dict against :data:`EVENT_SCHEMA`.
+
+    Strict: every schema field must be present with the right type,
+    and no field outside the schema (plus the implicit ``seq`` and
+    ``kind``) may appear — an extra field means the producer and the
+    schema have drifted, which is exactly what consumers need to hear
+    about.  ``last_seq``, when given, additionally requires
+    ``event["seq"] > last_seq`` (gaps are fine — they mark ring drops
+    — but a stalled or backwards sequence is not).
 
     Raises :class:`ValueError` naming the first problem found.
     """
@@ -138,7 +147,15 @@ def validate_event(event: "dict[str, object]") -> None:
     seq = event.get("seq")
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
         raise ValueError("event %r has bad seq %r" % (kind, seq))
-    for field, want in EVENT_SCHEMA[kind].items():
+    if last_seq is not None and seq <= last_seq:
+        raise ValueError("%s event: sequence went backwards (%d after %d)"
+                         % (kind, seq, last_seq))
+    schema = EVENT_SCHEMA[kind]
+    extra = set(event) - set(schema) - {"seq", "kind"}
+    if extra:
+        raise ValueError("%s event (seq %d) has unknown fields: %s"
+                         % (kind, seq, ", ".join(sorted(extra))))
+    for field, want in schema.items():
         if field not in event:
             raise ValueError("%s event (seq %d) missing field %r"
                              % (kind, seq, field))
@@ -174,11 +191,11 @@ def validate_jsonl(path: str) -> int:
             except ValueError as exc:
                 raise ValueError("%s:%d: not JSON: %s"
                                  % (path, lineno, exc)) from None
-            validate_event(event)
-            if event["seq"] <= last_seq:
-                raise ValueError("%s:%d: sequence went backwards (%d after "
-                                 "%d)" % (path, lineno, event["seq"],
-                                          last_seq))
+            try:
+                validate_event(event, last_seq=last_seq)
+            except ValueError as exc:
+                raise ValueError("%s:%d: %s"
+                                 % (path, lineno, exc)) from None
             last_seq = event["seq"]
             count += 1
     return count

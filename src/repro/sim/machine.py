@@ -33,6 +33,7 @@ from repro.mem.bus import MemoryBus, NodeMemory
 from repro.mem.cache import CacheHierarchy, LineState, NodePresence
 from repro.mem.tlb import Tlb
 from repro import obs
+from repro.obs import tracing
 from repro.sim.config import MachineConfig
 from repro.sim.engine import Barrier, LockTable, Resource, sample_utilization
 from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
@@ -258,6 +259,13 @@ class Machine:
 
         if faults is not None:
             faults.bind(self)
+
+        # Causal tracing: opt-in like obs.  With no collector installed
+        # the slow paths stay unwrapped, the network hook stays None
+        # and simulated results are byte-identical.
+        self._tracer = tracing.current()
+        if self._tracer is not None:
+            self._tracer.bind_machine(self)
 
     # ------------------------------------------------------------------
     # Home lookup.
@@ -552,6 +560,8 @@ class Machine:
                 if frame is None:
                     frame, now = kernel.fault(vpage, now)
                 else:
+                    if self._tracer is not None:
+                        self._tracer.note_tlb(now, now + self._lat_tlb_miss)
                     now += self._lat_tlb_miss
                     cpu.stats.tlb_misses += 1
                 tlb.insert(vpage, frame)
@@ -705,12 +715,15 @@ class Machine:
         """
         node = cpu.node
         bus = node.bus
+        tracer = self._tracer
         # Address phase, data phase and DRAM port occupancy are inlined
         # Resource.acquire calls (same FCFS arithmetic) — this function
         # runs once per local miss and the call overhead was measurable.
         bus.transactions += 1
         res = bus.address_path
         start = res.next_free if res.next_free > now else now
+        if tracer is not None and start > now:
+            tracer.add("bus_wait", "queue", node.node_id, now, start)
         t = start + self._lat_bus_request
         res.next_free = t
         res.busy_cycles += self._lat_bus_request
@@ -723,6 +736,9 @@ class Machine:
                     dirty_sibling = cid
                     break
         if dirty_sibling is not None:
+            if tracer is not None:
+                tracer.add("intervention", "mem", node.node_id, t,
+                           t + self._lat_intervention)
             t += self._lat_intervention
             if entry.mode.is_remote_backed and not is_write:
                 # No local memory behind the frame: the dirty data is
@@ -734,6 +750,11 @@ class Machine:
             memory = node.memory
             res = memory.port
             start = res.next_free if res.next_free > t else t
+            if tracer is not None:
+                if start > t:
+                    tracer.add("mem_wait", "queue", node.node_id, t, start)
+                tracer.add("dram", "mem", node.node_id, start,
+                           start + self._lat_serve_mem)
             t = start + self._lat_serve_mem
             res.next_free = t
             res.busy_cycles += self._lat_serve_mem
@@ -741,6 +762,8 @@ class Machine:
             memory.reads += 1
         res = bus.data_path
         start = res.next_free if res.next_free > t else t
+        if tracer is not None and start > t:
+            tracer.add("data_wait", "queue", node.node_id, t, start)
         t = start + self._lat_bus_data
         res.next_free = t
         res.busy_cycles += self._lat_bus_data
@@ -941,3 +964,5 @@ class Machine:
             round(1.0 - pit_hash / pit_lookups, 4) if pit_lookups else 1.0)
         registry.gauge("sim.execution_cycles").set(
             self.stats.execution_cycles)
+        if self._tracer is not None:
+            self._tracer.publish(registry)

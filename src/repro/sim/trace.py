@@ -1,5 +1,10 @@
 """Event tracing for the simulated machine.
 
+This is the *event* substrate ("what happened, in order"); the
+*causal* substrate ("why was this access slow") is
+:mod:`repro.obs.tracing`, which follows each coherence transaction as
+a span tree with a critical-path latency breakdown.
+
 A :class:`TraceRecorder` hooks a machine and records structured events:
 memory references (with their resolved level and latency), page faults,
 page-outs, mode demotions/promotions and home migrations.  Tracing is

@@ -142,3 +142,88 @@ def test_compare_command(tmp_path, capsys):
     # Drifted campaign: exit 1 and the drift is reported.
     assert main(["compare", str(before), str(after)]) == 1
     assert "remote_misses" in capsys.readouterr().out
+
+
+def test_trace_command(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    chrome = tmp_path / "chrome.json"
+    assert main(["trace", "fft", "--preset", "tiny", "--seed", "3",
+                 "--top", "2", "--out", str(spans),
+                 "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "transactions" in out
+    assert "critical-path latency by segment" in out
+    assert "#1" in out and "#2" in out and "#3" not in out
+    assert "sum" in out and "= duration" in out
+    from repro.obs.tracing import validate_spans_jsonl
+    assert validate_spans_jsonl(spans) > 0
+    import json
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_command_is_deterministic(tmp_path, capsys):
+    paths = []
+    for name in ("a.jsonl", "b.jsonl"):
+        path = tmp_path / name
+        assert main(["trace", "fft", "--preset", "tiny", "--seed", "7",
+                     "--out", str(path)]) == 0
+        paths.append(path.read_text())
+        capsys.readouterr()
+    assert paths[0] == paths[1]
+
+
+def test_top_command(tmp_path, capsys):
+    assert main(["top", "--apps", "fft", "--preset", "tiny",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "campaign 6/6 cells" in out
+    assert "p50" in out
+    # Cells ran traced, so the critical-path column is populated.
+    assert "queue" in out or "local" in out
+
+
+def test_metrics_filter_and_formats(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    base = ["metrics", "fft", "--preset", "tiny", "--policy", "scoma",
+            "--cache-dir", cache]
+    assert main(base + ["--filter", "sim.access*"]) == 0
+    table = capsys.readouterr().out
+    assert "sim.access_latency_cycles" in table
+    assert "p99" in table
+    assert "frame pools" not in table          # flat listing, not detail
+
+    assert main(base + ["--filter", "sim.access*", "--format",
+                        "json"]) == 0
+    import json
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and rows[0]["kind"] == "histogram"
+    assert rows[0]["cell"] == "fft/scoma"
+
+    assert main(base + ["--format", "csv"]) == 0
+    csv_out = capsys.readouterr().out.splitlines()
+    assert csv_out[0] == "cell,kind,metric,value,count,sum,p50,p99"
+    assert len(csv_out) > 2
+
+    assert main(base + ["--filter", "no.such.metric"]) == 0
+    assert "no.such.metric" not in capsys.readouterr().out
+
+
+def test_chaos_trace_prints_failing_span_tree(capsys):
+    # Drop plans with retransmission disabled are guaranteed to hang
+    # (the mutation self-test configuration), giving --trace a failing
+    # round to explain.
+    code = main(["chaos", "--seed", "1", "--rounds", "4", "--no-retry",
+                 "--trace"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "HUNG" in out
+    assert "causal trace of the failing transaction" in out
+    assert "transaction aborted" in out
+
+
+def test_chaos_without_trace_output_is_unchanged(capsys):
+    assert main(["chaos", "--seed", "7", "--rounds", "2"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "causal trace" not in out

@@ -1,0 +1,93 @@
+"""Tests for the live campaign view behind ``repro top``."""
+
+import io
+
+from repro.harness.session import ExperimentSpec, Session
+from repro.harness.top import LiveCampaignView, _merge_hist
+
+
+def _snapshot(p99_bucket=8192, segment_sums=None):
+    """A minimal metrics snapshot with one latency histogram (and
+    optionally trace segment roll-ups)."""
+    buckets = [1, 64, 8192]
+    hists = {"sim.access_latency_cycles{policy=scoma}":
+             {"buckets": buckets, "counts": [60, 20, 19, 1],
+              "sum": 12345, "count": 100}}
+    if segment_sums:
+        for segment, total in segment_sums.items():
+            hists["trace.segment_cycles{policy=scoma,segment=%s}"
+                  % segment] = {"buckets": buckets,
+                                "counts": [0, 0, 1, 0],
+                                "sum": total, "count": 1}
+    return {"histograms": hists, "counters": {}, "gauges": {},
+            "series": {}}
+
+
+def test_merge_hist_accumulates_counts_and_sums():
+    member = {"buckets": [1, 2], "counts": [3, 1, 0], "sum": 5, "count": 4}
+    rolled = _merge_hist(None, member)
+    rolled = _merge_hist(rolled, member)
+    assert rolled["counts"] == [6, 2, 0]
+    assert rolled["sum"] == 10
+    assert rolled["count"] == 8
+    assert rolled is not member              # first merge copies
+
+
+def test_non_tty_stream_prints_one_line_per_cell():
+    stream = io.StringIO()
+    view = LiveCampaignView(stream=stream, jobs=2)
+    assert view.repaint is False
+    view.expect(2)
+    view.cell_metrics("fft", "scoma", _snapshot(
+        segment_sums={"queue": 900, "local": 100}))
+    view.cell_done("fft", "scoma", 1.5)
+    view.cell_done("fft", "lanuma", 0.0, cached=True)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "fft" in lines[0] and "p50<=" in lines[0]
+    assert "queue 90%" in lines[0]
+    assert "cached" in lines[1]
+
+
+def test_render_includes_rolling_quantiles_and_segments():
+    view = LiveCampaignView(stream=io.StringIO())
+    view.expect(1)
+    view.note_cache(3, 4)
+    view.cell_metrics("fft", "scoma", _snapshot(
+        segment_sums={"queue": 700, "network": 200, "home": 100}))
+    view.cell_done("fft", "scoma", 0.5)
+    frame = view.render()
+    assert "campaign 1/1 cells" in frame
+    assert "result cache: 3 hits, 4 misses" in frame
+    assert "p50 <= 1" in frame
+    assert "critical path: queue 70% network 20% home 10%" in frame
+    assert "fft" in frame and "scoma" in frame
+
+
+def test_cells_without_snapshots_show_dashes():
+    stream = io.StringIO()
+    view = LiveCampaignView(stream=stream)
+    view.expect(1)
+    view.cell_done("lu", "scoma", 0.2)
+    assert view.rows[0][3] == "-"
+    assert view.rows[0][4] == "-"
+
+
+def test_utilization_is_bounded():
+    view = LiveCampaignView(stream=io.StringIO(), jobs=4)
+    view.expect(1)
+    view.cell_done("fft", "scoma", 10_000.0)   # absurd busy time
+    assert view.utilization() <= 1.0
+    assert "cells in" in view.summary()
+
+
+def test_session_feeds_view_through_cell_metrics_hook(tmp_path):
+    view = LiveCampaignView(stream=io.StringIO())
+    session = Session(cache_dir=str(tmp_path / "cache"), progress=view,
+                      collect_metrics=True, trace_cells=True)
+    session.run(ExperimentSpec("fft", "scoma", preset="tiny"))
+    (row,) = view.rows
+    assert row[0] == "fft"
+    assert row[3] != "-"                      # p50 came from the snapshot
+    assert row[5] != ""                       # segments came from tracing
+    assert view.cache_hits == 0

@@ -95,6 +95,18 @@ def test_quantile_helper_validates_and_handles_empty():
     assert quantile(empty, 0.5) == 0
     with pytest.raises(ValueError):
         quantile(empty, 1.5)
+    with pytest.raises(ValueError):
+        quantile(empty, -0.1)
+
+
+def test_find_metrics_without_matches_returns_empty_list():
+    reg = MetricsRegistry()
+    reg.counter("hits", policy="scoma").inc()
+    snap = reg.to_dict()
+    assert find_metrics(snap["counters"], "misses") == []
+    assert find_metrics({}, "anything") == []
+    # Prefixes are not families: "hit" must not match "hits".
+    assert find_metrics(snap["counters"], "hit") == []
 
 
 def test_module_helpers_are_noops_without_registry():

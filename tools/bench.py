@@ -108,6 +108,62 @@ def run_cell(name: str, rounds: int) -> "dict[str, object]":
     }
 
 
+def trace_overhead(rounds: int, tolerance: float) -> int:
+    """Gate the causal-tracing overhead on a hit-dominated hot loop.
+
+    Times the cell best-of-``rounds`` untraced, then again under a
+    :class:`~repro.obs.tracing.TraceCollector`; fails when the traced
+    run is more than ``tolerance`` slower.  The tracer only opens
+    spans on slow paths — cache hits never touch it — so the gate
+    cell is a warmed-up block sweep whose working set fits in cache
+    (miss rate under 1%).  The cold-miss cells of the main matrix
+    would instead measure per-transaction span cost, which tracing
+    makes no claim about.
+    """
+    from repro.obs import tracing
+
+    name = "block-hot/scoma"
+    policy = "scoma"
+
+    def factory():
+        return _synthetic("block", shared_kb=8, iterations=20)
+
+    def one(traced: bool) -> float:
+        if traced:
+            collector = tracing.install(tracing.TraceCollector(seed=0))
+        try:
+            machine = Machine(_bench_config(), policy=policy)
+            workload = factory()
+            start = time.perf_counter()
+            machine.run(workload)
+            wall = time.perf_counter() - start
+        finally:
+            if traced:
+                assert collector.finished > 0
+                tracing.uninstall()
+        return wall
+
+    # Interleave the two arms (after one discarded warm-up each) so
+    # slow host phases depress both equally; best-of filters the rest.
+    one(False), one(True)
+    plain = traced = None
+    for _ in range(rounds):
+        wall = one(False)
+        plain = wall if plain is None or wall < plain else plain
+        wall = one(True)
+        traced = wall if traced is None or wall < traced else traced
+    slowdown = traced / plain
+    print("== tracing overhead gate (tolerance %.0f%%) ==" % (tolerance * 100))
+    print("  %-20s untraced %8.3fs  traced %8.3fs  (%+.1f%%)"
+          % (name, plain, traced, (slowdown - 1.0) * 100))
+    if slowdown > 1.0 + tolerance:
+        print("trace overhead: traced run is %.0f%% slower than untraced "
+              "(limit %.0f%%)" % ((slowdown - 1.0) * 100, tolerance * 100))
+        return 1
+    print("trace overhead: OK")
+    return 0
+
+
 def host_metadata() -> "dict[str, str]":
     return {
         "python": platform.python_version(),
@@ -166,7 +222,16 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed refs/sec drop in --compare mode "
                              "(default: 0.10)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="instead of the matrix, gate the causal-"
+                             "tracing slowdown on one cell")
+    parser.add_argument("--trace-tolerance", type=float, default=0.15,
+                        help="allowed traced-vs-untraced slowdown in "
+                             "--trace-overhead mode (default: 0.15)")
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        return trace_overhead(args.rounds, args.trace_tolerance)
 
     if args.cells:
         names = args.cells

@@ -71,6 +71,38 @@ assert families > 0, "metrics snapshot is empty"
 print("observability smoke: %d events, %d metric families OK"
       % (events, families))
 EOF
+echo "== causal tracing smoke: record, validate, deterministic ids =="
+# Record the same traced cell twice: the span exports must validate
+# (schema + causal integrity) and be byte-identical across runs —
+# span ids are derived from seeds, never from wall clock or id().
+python -m repro trace fft --preset tiny --seed 3 --top 3 \
+    --out "$workdir/spans1.jsonl" --chrome "$workdir/chrome.json" \
+    > "$workdir/trace1.txt"
+python -m repro trace fft --preset tiny --seed 3 --top 3 \
+    --out "$workdir/spans2.jsonl" > /dev/null
+if ! diff -u "$workdir/spans1.jsonl" "$workdir/spans2.jsonl"; then
+    echo "FAIL: same-seed traced runs exported different span ids" >&2
+    exit 1
+fi
+python - "$workdir" <<'EOF'
+import json
+import sys
+
+workdir = sys.argv[1]
+from repro.obs.tracing import validate_spans_jsonl
+
+spans = validate_spans_jsonl(workdir + "/spans1.jsonl")
+assert spans > 0, "span export is empty"
+chrome = json.load(open(workdir + "/chrome.json"))
+assert chrome["traceEvents"], "chrome export has no trace events"
+report = open(workdir + "/trace1.txt").read()
+assert "= duration" in report, "trace report lost the sum==duration check"
+print("tracing smoke: %d spans validated, chrome export OK" % spans)
+EOF
+
+echo "== tracing overhead gate (hot loop, 15% tolerance) =="
+python tools/bench.py --trace-overhead --rounds 5
+
 echo "== protocol conformance: litmus suite + fixed-seed fuzz smoke =="
 python -m repro verify --suite litmus
 python -m repro verify --fuzz 40 --seed 0

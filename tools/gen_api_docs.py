@@ -127,17 +127,37 @@ snapshot = registry.to_dict()          # JSON-safe, stable key order
 * **Structured events** — `repro.obs.events.EventSink` ring-buffers
   typed events (`access`, `fault`, `pageout`, `promote`, `migrate` per
   `EVENT_SCHEMA`) with monotonic sequence numbers that survive drops;
-  `validate_jsonl()` checks an exported trace end to end.  The
-  `repro.sim.trace.TraceRecorder` forwards its machine hooks to a sink
-  when constructed with one.
-* **CLI** — `repro run ... --trace-out FILE` writes a schema-valid
-  JSONL trace, `--metrics-out FILE` a metrics snapshot; `repro
-  metrics <workload> --policy P` prints per-policy latency histograms,
-  frame-pool occupancy and a per-cell telemetry table from cached
-  snapshots (re-simulating, then caching, cells that lack one);
-  `--metrics` on `run`/`suite`/`evaluate` collects snapshots
-  campaign-wide.  The end-of-campaign summary line reports result-cache
-  hit/miss counters.
+  `validate_event()` / `validate_jsonl()` check an exported trace end
+  to end (strict: unknown fields and non-monotonic sequence numbers
+  are rejected).  The `repro.sim.trace.TraceRecorder` forwards its
+  machine hooks to a sink when constructed with one.
+* **Causal tracing** — `repro.obs.tracing.TraceCollector` follows each
+  coherence transaction end-to-end as a span tree (miss/upgrade/fault
+  roots; queue-wait, network-hop, home-service, invalidation-fan-out,
+  retransmit children) with deterministic ids and simulated-time
+  stamps.  `compute_breakdown` charges every cycle of a transaction to
+  exactly one critical-path segment (the per-trace segment cycles sum
+  to the transaction latency), roll-ups land in the metrics registry
+  as `trace.segment_cycles{segment=...,policy=...}`, and exports go
+  out as schema-validated JSONL spans or Chrome/Perfetto
+  `trace_event` JSON.
+* **CLI** — `repro trace <workload>` records a traced run, prints the
+  campaign-wide latency attribution and the `--top N` slowest
+  transactions as span trees, and exports with `--out` / `--chrome`;
+  `repro top` runs a campaign under a live terminal dashboard
+  (per-cell p50/p99, cache counters, worker utilization, rolling
+  critical-path mix); `repro run ... --trace-out FILE` writes a
+  schema-valid JSONL event trace and `--metrics-out FILE` a metrics
+  snapshot; `repro metrics <workload> --policy P` prints per-policy
+  latency histograms and frame-pool occupancy from cached snapshots
+  (re-simulating, then caching, cells that lack one) — `--filter
+  NAME_GLOB` and `--format json|csv|table` switch to a flat,
+  machine-readable per-metric listing; `--metrics` on
+  `run`/`suite`/`evaluate` collects snapshots campaign-wide.  The
+  end-of-campaign summary line reports result-cache hit/miss counters.
+
+See [OBSERVABILITY.md](OBSERVABILITY.md) for the full tour — metrics,
+events and tracing side by side, with a worked Perfetto export.
 
 ## Verification
 
