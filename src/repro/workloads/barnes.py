@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads.base import (PrivateArray, SharedArray, Workload,
-                                  barrier, compute, lock, unlock)
+                                  barrier, coalesce_stream, compute,
+                                  lock, unlock)
 
 BODY_BYTES = 64   # position + velocity + mass (2 cache lines)
 ACC_BYTES = 32    # acceleration vector (1 cache line)
@@ -121,6 +122,11 @@ class BarnesWorkload(Workload):
             self._super_lists.append(sorted(far_supers))
 
     def generator(self, cpu_id: int, num_cpus: int):
+        # Run-coalesced view of the kernel's stream: op-for-op
+        # identical after expansion (see coalesce_stream).
+        return coalesce_stream(self._stream(cpu_id, num_cpus))
+
+    def _stream(self, cpu_id: int, num_cpus: int):
         bodies, accels, cells = self.bodies, self.accels, self.cells
         scratch = self.scratch[cpu_id]
         mine = self.block_range(self.n, cpu_id, num_cpus)

@@ -184,6 +184,51 @@ def coalesce(refs):
         yield (run_of[kind], base, stride, count)
 
 
+def coalesce_stream(ops):
+    """Fuse ref runs in a *full* op stream (refs mixed with compute,
+    barrier and lock ops).
+
+    Like :func:`coalesce`, but accepts the complete generator output:
+    non-reference ops flush any pending run and pass through unchanged,
+    so the expanded stream is op-for-op identical to the input — only
+    maximal same-kind constant-stride reference runs collapse into
+    ``OP_READ_RUN``/``OP_WRITE_RUN``.  Wrap an existing generator with
+    it to get run coalescing without restructuring the kernel::
+
+        def generator(self, cpu_id, num_cpus):
+            return coalesce_stream(self._stream(cpu_id, num_cpus))
+    """
+    run_of = {OP_READ: OP_READ_RUN, OP_WRITE: OP_WRITE_RUN}
+    kind = base = prev = stride = None
+    count = 0
+    for op in ops:
+        k = op[0]
+        if k == OP_READ or k == OP_WRITE:
+            addr = op[1]
+            if k == kind and (stride is None or addr - prev == stride):
+                if stride is None:
+                    stride = addr - prev
+                prev = addr
+                count += 1
+                continue
+            if count == 1:
+                yield (kind, base)
+            elif count:
+                yield (run_of[kind], base, stride, count)
+            kind, base, prev, stride, count = k, addr, addr, None, 1
+            continue
+        if count == 1:
+            yield (kind, base)
+        elif count:
+            yield (run_of[kind], base, stride, count)
+        kind, stride, count = None, None, 0
+        yield op
+    if count == 1:
+        yield (kind, base)
+    elif count:
+        yield (run_of[kind], base, stride, count)
+
+
 def barrier(bid: int) -> "tuple[int, int]":
     """A global-barrier op for barrier ``bid``."""
     return (OP_BARRIER, bid)

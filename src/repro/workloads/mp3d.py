@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.base import SharedArray, Workload, barrier, compute
+from repro.workloads.base import (SharedArray, Workload, barrier,
+                                  coalesce_stream, compute)
 
 PARTICLE_BYTES = 64
 CELL_BYTES = 32
@@ -72,6 +73,11 @@ class Mp3dWorkload(Workload):
             self._visits.append(cell)
 
     def generator(self, cpu_id: int, num_cpus: int):
+        # Run-coalesced view of the kernel's stream: op-for-op
+        # identical after expansion (see coalesce_stream).
+        return coalesce_stream(self._stream(cpu_id, num_cpus))
+
+    def _stream(self, cpu_id: int, num_cpus: int):
         particles, space = self.particles, self.space
         mine = self.block_range(self.n, cpu_id, num_cpus)
         bid = 0

@@ -17,7 +17,8 @@ driver (we carry 4).
 
 from __future__ import annotations
 
-from repro.workloads.base import SharedArray, Workload, barrier, compute
+from repro.workloads.base import (SharedArray, Workload, barrier,
+                                  coalesce_stream, compute)
 
 DOUBLE_BYTES = 8
 
@@ -48,6 +49,11 @@ class OceanWorkload(Workload):
                                  elem_bytes=DOUBLE_BYTES)
 
     def generator(self, cpu_id: int, num_cpus: int):
+        # Run-coalesced view of the kernel's stream: op-for-op
+        # identical after expansion (see coalesce_stream).
+        return coalesce_stream(self._stream(cpu_id, num_cpus))
+
+    def _stream(self, cpu_id: int, num_cpus: int):
         g = self.g
         rows = self.block_range(g - 2, cpu_id, num_cpus)  # interior rows
         src, dst = self.q, self.q_next

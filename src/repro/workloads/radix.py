@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads.base import (PrivateArray, SharedArray, Workload,
-                                  barrier, compute)
+                                  barrier, coalesce_stream, compute)
 
 INT_BYTES = 4
 
@@ -75,6 +75,11 @@ class RadixWorkload(Workload):
             current = current[order]
 
     def generator(self, cpu_id: int, num_cpus: int):
+        # Run-coalesced view of the kernel's stream: op-for-op
+        # identical after expansion (see coalesce_stream).
+        return coalesce_stream(self._stream(cpu_id, num_cpus))
+
+    def _stream(self, cpu_id: int, num_cpus: int):
         n, radix = self.n, self.radix
         src, dst = self.src, self.dst
         lhist = self.local_hist[cpu_id]

@@ -57,6 +57,7 @@ class SyntheticWorkload(Workload):
                  refs_per_cpu_per_iter: int = 2000,
                  cycles_per_ref: int = 10,
                  random_order: bool = False,
+                 imbalance: float = 0.0,
                  seed: int = 20260704) -> None:
         """``shared_kb`` sizes the shared array; ``sweep_fraction``
         restricts each CPU's working set to a fraction of its share;
@@ -70,6 +71,8 @@ class SyntheticWorkload(Workload):
             raise ValueError("sweep_fraction must be in (0, 1]")
         if not 0.0 <= write_fraction <= 1.0:
             raise ValueError("write_fraction must be in [0, 1]")
+        if imbalance < 0.0:
+            raise ValueError("imbalance must be non-negative")
         self.pattern = pattern
         self.shared_kb = shared_kb
         self.sweep_fraction = sweep_fraction
@@ -82,6 +85,11 @@ class SyntheticWorkload(Workload):
         #: Block pattern: visit the working set in random order instead
         #: of sequentially (defeats the cyclic-sweep LRU worst case).
         self.random_order = random_order
+        #: Load imbalance for the block pattern: CPU ``i`` performs
+        #: ``refs * (1 + imbalance * i / (n - 1))`` references per
+        #: iteration, modelling the skewed per-CPU work of real kernels
+        #: (boundary rows, pivot columns).  0 keeps the uniform sweep.
+        self.imbalance = imbalance
         self.seed = seed
         self.problem = "%s, %d KB shared, %d iterations" % (
             pattern, shared_kb, iterations)
@@ -103,9 +111,12 @@ class SyntheticWorkload(Workload):
     def _plan_block(self, num_cpus, rng):
         per_cpu = self.num_lines // num_cpus
         span = max(1, int(per_cpu * self.sweep_fraction))
-        refs = self.refs_per_cpu_per_iter
         plans = []
         for cpu in range(num_cpus):
+            refs = self.refs_per_cpu_per_iter
+            if self.imbalance and num_cpus > 1:
+                refs = int(refs * (1.0 + self.imbalance * cpu
+                                   / (num_cpus - 1)))
             base = cpu * per_cpu
             iters = []
             for _ in range(self.iterations):

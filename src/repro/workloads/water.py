@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads.base import (PrivateArray, SharedArray, Workload,
-                                  barrier, compute, lock, unlock)
+                                  barrier, coalesce_stream, compute,
+                                  lock, unlock)
 
 MOLECULE_BYTES = 128  # positions/velocities/forces of the 3 atoms
 FORCE_BYTES = 32
@@ -54,6 +55,11 @@ class _WaterBase(Workload):
         self._pairs_by_cpu = [pairs[c::num_cpus] for c in range(num_cpus)]
 
     def generator(self, cpu_id: int, num_cpus: int):
+        # Run-coalesced view of the kernel's stream: op-for-op
+        # identical after expansion (see coalesce_stream).
+        return coalesce_stream(self._stream(cpu_id, num_cpus))
+
+    def _stream(self, cpu_id: int, num_cpus: int):
         molecules, forces = self.molecules, self.forces
         scratch = self.scratch[cpu_id]
         mine = self.block_range(self.n, cpu_id, num_cpus)

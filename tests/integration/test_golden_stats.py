@@ -46,6 +46,22 @@ def test_fixture_covers_every_app_policy_cell(golden):
     assert set(golden) == expected
 
 
+def test_vector_engine_matches_the_committed_golden_fixture(golden):
+    """The trace-replay engine's identity gate: every one of the 64
+    tiny-matrix cells must reproduce the committed interpreter fixture
+    byte for byte — same counters, same cycle totals, same per-CPU
+    breakdowns."""
+    recomputed = _load_update_golden().compute_golden(engine="vector")
+    assert set(recomputed) == set(golden)
+    problems = []
+    for cell in sorted(golden):
+        diff = _diff("", golden[cell], recomputed[cell])
+        problems.extend("%s: %s" % (cell, d) for d in diff)
+    assert not problems, (
+        "%d stat(s) diverged between the vector engine and the golden "
+        "fixture:\n  %s" % (len(problems), "\n  ".join(problems[:40])))
+
+
 def test_stats_match_the_committed_golden_fixture(golden, recomputed):
     assert set(recomputed) == set(golden), \
         "cell set drifted: rerun tools/update_golden.py"

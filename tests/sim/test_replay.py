@@ -1,0 +1,388 @@
+"""The trace-replay engine: recording, caching, and byte-identity.
+
+The vector engine's contract is *byte-identical* ``MachineStats``
+against the interpreter — these tests cover the compiled-trace
+recording pass, the content-addressed cache (both tiers), and the
+equivalence on scripted streams that exercise every dispatcher edge:
+locks, barriers, schedule perturbation, the over-claim/drain automaton
+and the guarded (faults/deadline) delegation path.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.ops import (OP_BARRIER, OP_COMPUTE, OP_LOCK, OP_READ,
+                           OP_READ_RUN, OP_UNLOCK, OP_WRITE, OP_WRITE_RUN)
+from repro.sim.replay import (END_BARRIER, END_LOCK, END_STREAM,
+                              END_UNLOCK, TraceCache, VectorMachine,
+                              build_machine, compile_stream,
+                              trace_signature)
+from repro.workloads.base import Workload
+
+from tests.conftest import protocol_config
+
+
+#: Ops whose second element is a shared-region byte offset that
+#: ``setup`` rebases onto the attached region's virtual base.
+_ADDR_OPS = (OP_READ, OP_WRITE, OP_READ_RUN, OP_WRITE_RUN)
+
+
+class ScriptedWorkload(Workload):
+    """A workload built from explicit per-CPU op scripts.
+
+    Reference addresses in the scripts are *offsets into the shared
+    region* — ``setup`` rebases them once the layout assigns the
+    region its virtual base.
+    """
+
+    name = "scripted-replay"
+
+    def __init__(self, scripts, shared_pages=8, private_pages=2):
+        super().__init__()
+        self.scripts = scripts
+        self.shared_pages = shared_pages
+        self.private_pages = private_pages
+        self.problem = "scripted"
+
+    def setup(self, layout, num_cpus):
+        self.region = layout.attach_shared(
+            key=77, size_bytes=self.shared_pages * layout.page_bytes)
+        self.private = layout.add_private(
+            self.private_pages * layout.page_bytes)
+        vbase = self.region.vbase
+        self.scripts = {
+            cpu: [(op[0], op[1] + vbase) + op[2:]
+                  if op[0] in _ADDR_OPS else op
+                  for op in ops]
+            for cpu, ops in self.scripts.items()}
+
+    def generator(self, cpu_id, num_cpus):
+        return iter(self.scripts.get(cpu_id, []))
+
+
+def both_engines(scripts, **cfg_overrides):
+    """Run a scripted workload under both engines; return both stats."""
+    cfg = protocol_config(**cfg_overrides)
+    interp = Machine(cfg, policy="scoma").run(ScriptedWorkload(scripts))
+    vector = VectorMachine(replace(cfg, engine="vector"),
+                           policy="scoma").run(ScriptedWorkload(scripts))
+    return interp.stats.to_dict(), vector.stats.to_dict()
+
+
+def assert_identical(scripts, **cfg_overrides):
+    a, b = both_engines(scripts, **cfg_overrides)
+    assert a == b, {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+
+
+# ----------------------------------------------------------------------
+# compile_stream
+# ----------------------------------------------------------------------
+
+def test_compile_stream_lowering():
+    addr, w, gap, segs, mg, mt = compile_stream(iter([
+        (OP_COMPUTE, 10),
+        (OP_COMPUTE, 5),            # totals with the previous gap
+        (OP_READ, 100),
+        (OP_WRITE, 132),
+        (OP_READ_RUN, 200, 32, 3),  # unrolls to 200, 232, 264
+        (OP_BARRIER, 7),
+        (OP_COMPUTE, 4),            # tail gap of the final segment
+    ]))
+    assert addr.tolist() == [100, 132, 200, 232, 264]
+    assert w.tolist() == [0, 1, 0, 0, 0]
+    assert gap.tolist() == [15, 0, 0, 0, 0]
+    assert segs.tolist() == [[0, 5, 0, END_BARRIER, 7],
+                             [5, 5, 4, END_STREAM, 0]]
+    # The two-op gap keeps its chunk structure (the interpreter can
+    # suspend between the compute ops); the single-op tail does not.
+    assert mg.tolist() == [[0, 10], [0, 5]]
+    assert mt.tolist() == []
+
+
+def test_compile_stream_multi_chunk_tail_gap():
+    _a, _w, _g, segs, mg, mt = compile_stream(iter([
+        (OP_READ, 0),
+        (OP_COMPUTE, 2),
+        (OP_COMPUTE, 0),            # zero chunks never move the clock
+        (OP_COMPUTE, 3),
+        (OP_BARRIER, 0),
+    ]))
+    assert segs.tolist() == [[0, 1, 5, END_BARRIER, 0],
+                             [1, 1, 0, END_STREAM, 0]]
+    assert mg.tolist() == []
+    assert mt.tolist() == [[0, 2], [0, 3]]
+
+
+def test_compile_stream_lock_segments_and_write_runs():
+    addr, w, gap, segs, _mg, _mt = compile_stream(iter([
+        (OP_LOCK, 3),
+        (OP_WRITE_RUN, 0, 32, 2),
+        (OP_UNLOCK, 3),
+        (OP_READ, 64),
+    ]))
+    assert addr.tolist() == [0, 32, 64]
+    assert w.tolist() == [1, 1, 0]
+    assert segs.tolist() == [[0, 0, 0, END_LOCK, 3],
+                             [0, 2, 0, END_UNLOCK, 3],
+                             [2, 3, 0, END_STREAM, 0]]
+
+
+def test_compile_stream_rejects_unknown_ops():
+    with pytest.raises(ValueError, match="unknown op"):
+        compile_stream(iter([(99, 0)]))
+
+
+def test_compile_stream_empty_run_is_dropped():
+    addr, _w, _gap, segs, _mg, _mt = compile_stream(
+        iter([(OP_READ_RUN, 0, 32, 0)]))
+    assert addr.tolist() == []
+    assert segs.tolist() == [[0, 0, 0, END_STREAM, 0]]
+
+
+# ----------------------------------------------------------------------
+# Recording determinism and the trace cache
+# ----------------------------------------------------------------------
+
+def _setup_workload(num_cpus=4, seed=1):
+    from repro.sim.machine import Machine as M
+    from repro.workloads.synthetic import SyntheticWorkload
+    cfg = protocol_config()
+    machine = M(cfg, policy="scoma")
+    wl = SyntheticWorkload("block", shared_kb=4, iterations=2,
+                           refs_per_cpu_per_iter=200, seed=seed)
+    wl.setup(machine.layout, num_cpus)
+    return wl
+
+
+def test_recording_is_deterministic():
+    wl = _setup_workload()
+    first = [compile_stream(wl.generator(c, 4)) for c in range(4)]
+    second = [compile_stream(wl.generator(c, 4)) for c in range(4)]
+    for a, b in zip(first, second):
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+def test_signature_tracks_workload_content():
+    wl = _setup_workload(seed=1)
+    assert trace_signature(wl, 4) == trace_signature(wl, 4)
+    assert trace_signature(wl, 4) != trace_signature(wl, 8)
+    other = _setup_workload(seed=2)
+    assert trace_signature(wl, 4) != trace_signature(other, 4)
+
+
+def test_trace_cache_memory_tier():
+    cache = TraceCache()
+    wl = _setup_workload()
+    first = cache.get_or_compile(wl, 4)
+    again = cache.get_or_compile(wl, 4)
+    assert again is first
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_trace_cache_disk_round_trip(tmp_path):
+    wl = _setup_workload()
+    writer = TraceCache(root=str(tmp_path))
+    stored = writer.get_or_compile(wl, 4)
+    # A fresh cache (cold memory tier) must load the same arrays back.
+    reader = TraceCache(root=str(tmp_path))
+    loaded = reader.get_or_compile(wl, 4)
+    assert reader.misses == 0 and reader.hits == 1
+    assert loaded.signature == stored.signature
+    for a, b in zip(stored.per_cpu, loaded.per_cpu):
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+def test_trace_cache_survives_corrupt_disk_entry(tmp_path):
+    wl = _setup_workload()
+    cache = TraceCache(root=str(tmp_path))
+    sig = cache.get_or_compile(wl, 4).signature
+    path = cache._path(sig)
+    with open(path, "wb") as fh:
+        fh.write(b"not an npz")
+    fresh = TraceCache(root=str(tmp_path))
+    trace = fresh.get_or_compile(wl, 4)  # recompiles, no crash
+    assert trace.signature == sig
+    assert fresh.misses == 1
+
+
+# ----------------------------------------------------------------------
+# build_machine
+# ----------------------------------------------------------------------
+
+def test_build_machine_selects_engine():
+    assert type(build_machine(MachineConfig())) is Machine
+    cfg = replace(MachineConfig(), engine="vector")
+    assert isinstance(build_machine(cfg), VectorMachine)
+
+
+# ----------------------------------------------------------------------
+# Vector/interp byte-identity on targeted scripts
+# ----------------------------------------------------------------------
+
+def _sweep(base, lines, writes_every=4):
+    ops = []
+    for i in range(lines):
+        kind = OP_WRITE if i % writes_every == 0 else OP_READ
+        ops.append((kind, base + 32 * i))
+    return ops
+
+
+def test_identical_on_hit_loop_with_barriers():
+    # Each CPU sweeps its own page repeatedly: after warm-up the loop
+    # is pure L1 hits — the vectorized claim's bread and butter.
+    scripts = {}
+    for cpu in range(8):
+        ops = []
+        for _ in range(6):
+            ops.extend(_sweep(256 * cpu, 8))
+            ops.append((OP_COMPUTE, 17))
+            ops.append((OP_BARRIER, 0))
+        scripts[cpu] = ops
+    assert_identical(scripts)
+
+
+def test_identical_on_lock_contention():
+    # All CPUs hammer one lock around a shared read-modify-write:
+    # FCFS grant order at equal times is the tie-break the drain
+    # automaton exists to preserve.
+    scripts = {}
+    for cpu in range(8):
+        ops = []
+        for round_ in range(4):
+            ops.append((OP_COMPUTE, 3 * cpu))
+            ops.append((OP_LOCK, 1))
+            ops.append((OP_READ, 0))
+            ops.append((OP_WRITE, 0))
+            ops.append((OP_UNLOCK, 1))
+            ops.extend(_sweep(256 * cpu, 6))
+        scripts[cpu] = ops
+    assert_identical(scripts)
+
+
+def test_identical_on_sharing_and_invalidations():
+    # Neighbour pipelines: CPU i writes what CPU i+1 reads next phase.
+    scripts = {}
+    for cpu in range(8):
+        ops = []
+        for phase in range(4):
+            if phase % 2 == 0:
+                ops.extend((OP_WRITE, 256 * cpu + 32 * i)
+                           for i in range(8))
+            else:
+                up = (cpu - 1) % 8
+                ops.extend((OP_READ, 256 * up + 32 * i)
+                           for i in range(8))
+            ops.append((OP_BARRIER, 0))
+        scripts[cpu] = ops
+    assert_identical(scripts)
+
+
+def test_identical_under_schedule_perturbation():
+    from repro.sim.engine import SchedulePerturbation
+    cfg = protocol_config()
+    scripts = {cpu: _sweep(256 * cpu, 8) * 5
+               for cpu in range(8)}
+
+    def sched():
+        return SchedulePerturbation(cpu_offsets=(0, 11, 3, 27, 5, 0, 9, 2),
+                                    net_jitter=(1, 0, 3))
+
+    a = Machine(cfg, policy="scoma", schedule=sched()).run(
+        ScriptedWorkload(scripts)).stats.to_dict()
+    b = VectorMachine(replace(cfg, engine="vector"), policy="scoma",
+                      schedule=sched()).run(
+        ScriptedWorkload(scripts)).stats.to_dict()
+    assert a == b, {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+
+
+def test_identical_on_lockstep_multi_chunk_gap_tie():
+    # Found by hypothesis: two same-node CPUs in lockstep reach a cold
+    # shared page through a gap built from TWO compute ops.  The
+    # interpreter re-checks the limit after each compute op, so the
+    # first CPU requeues at the partial sum (t=1), which lets it win
+    # the issue-time tie and take the page fault while the other CPU
+    # takes the counted TLB miss.  A trace that merged the gap requeued
+    # at the full sum (t=2) and flipped the attribution.
+    scripts = {cpu: [(OP_BARRIER, 0)] for cpu in range(6)}
+    for cpu in (6, 7):
+        scripts[cpu] = [(OP_COMPUTE, 1), (OP_COMPUTE, 1), (OP_READ, 0),
+                        (OP_BARRIER, 0)]
+    assert_identical(scripts)
+
+
+def test_identical_on_imbalanced_streams():
+    # Wildly different per-CPU lengths: exercises the single-runnable
+    # endgame (empty heap, limit None) and the over-claim drain.
+    scripts = {}
+    for cpu in range(4):
+        reps = 2 + 20 * cpu
+        scripts[cpu] = _sweep(256 * cpu, 8) * reps
+    assert_identical(scripts)
+
+
+def test_identical_under_deadline_guarded_loop():
+    # A deadline forces VectorMachine to delegate to the interpreter's
+    # guarded event loop — stats must still match the plain Machine
+    # under the same deadline.
+    cfg = protocol_config()
+    scripts = {cpu: _sweep(256 * cpu, 8) * 3
+               for cpu in range(8)}
+    a = Machine(cfg, policy="scoma", deadline=10**9).run(
+        ScriptedWorkload(scripts)).stats.to_dict()
+    b = VectorMachine(replace(cfg, engine="vector"), policy="scoma",
+                      deadline=10**9).run(
+        ScriptedWorkload(scripts)).stats.to_dict()
+    assert a == b
+
+
+def test_identical_under_fault_injection():
+    # With a fault plane attached the vector engine must take the
+    # guarded path and reproduce the interpreter's faulted run exactly.
+    from repro.faults import FaultInjector, FaultPlan
+
+    cfg = protocol_config()
+    scripts = {cpu: _sweep(256 * cpu, 8) * 3
+               for cpu in range(4)}
+
+    def injector():
+        return FaultInjector(FaultPlan().delay(0.5, cycles=40, end=50_000),
+                             seed=5)
+
+    a = Machine(cfg, policy="scoma", faults=injector(),
+                deadline=10**8).run(ScriptedWorkload(scripts))
+    b = VectorMachine(replace(cfg, engine="vector"), policy="scoma",
+                      faults=injector(), deadline=10**8).run(
+        ScriptedWorkload(scripts))
+    assert a.stats.to_dict() == b.stats.to_dict()
+
+
+def test_traced_vector_run_exports_same_span_schema(tmp_path):
+    # Satellite 6: slow-path tracing must attach under the vector
+    # engine, and its span export must carry the interpreter's schema.
+    from repro.obs import tracing
+
+    cfg = protocol_config()
+    scripts = {cpu: _sweep(256 * cpu, 8) * 3
+               for cpu in range(4)}
+
+    def traced(machine_cls, cfg):
+        with tracing.collecting(seed=3) as collector:
+            machine_cls(cfg, policy="scoma").run(
+                ScriptedWorkload(scripts))
+        return collector
+
+    interp = traced(Machine, cfg)
+    vector = traced(VectorMachine, replace(cfg, engine="vector"))
+    assert vector.finished == interp.finished
+    assert vector.span_count == interp.span_count
+
+    out = str(tmp_path / "spans.jsonl")
+    written = vector.write_spans(out)
+    assert written > 0
+    assert tracing.validate_spans_jsonl(out) == written

@@ -43,14 +43,29 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
+from dataclasses import replace
+
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
+from repro.sim.replay import build_machine
 
 
 def _bench_config() -> MachineConfig:
-    """The pinned machine geometry every cell runs on."""
+    """The pinned machine geometry most cells run on."""
     return MachineConfig(num_nodes=2, cpus_per_node=2,
                          directory_cache_entries=256)
+
+
+def _serial_config() -> MachineConfig:
+    """One CPU total: the vector engine's unbounded-claim regime."""
+    return MachineConfig(num_nodes=1, cpus_per_node=1,
+                         directory_cache_entries=256)
+
+
+def _wide_config() -> MachineConfig:
+    """The paper-scale 32 nodes x 8 CPUs geometry."""
+    return MachineConfig(num_nodes=32, cpus_per_node=8,
+                         directory_cache_entries=1024)
 
 
 def _synthetic(pattern: str, **kwargs):
@@ -66,32 +81,96 @@ def _preset(app: str, preset: str):
     return make_workload(app, preset)
 
 
-#: The pinned cell matrix: name -> (policy, workload factory).  The
-#: synthetic cells match benchmarks/test_simulator_throughput.py; the
-#: preset cells exercise the real-kernel generators (block-op runs).
+def _skew(num_cpus: int, scale: int = 1997):
+    """A deterministic start-time skew (breaks CPU-clock lockstep)."""
+    from repro.sim.engine import SchedulePerturbation
+    return SchedulePerturbation(
+        cpu_offsets=tuple((i * scale) % 16384 for i in range(num_cpus)))
+
+
+class Cell:
+    """One benchmark cell: policy + workload factory + machine shape.
+
+    ``config`` picks the machine geometry, ``schedule`` an optional
+    start-time perturbation, and ``arms`` the engines the matrix times
+    (every arm beyond ``interp`` is recorded as ``name@<engine>``).
+    """
+
+    __slots__ = ("policy", "factory", "config", "schedule", "arms")
+
+    def __init__(self, policy, factory, config=_bench_config,
+                 schedule=None, arms=("interp", "vector")):
+        self.policy = policy
+        self.factory = factory
+        self.config = config
+        self.schedule = schedule
+        self.arms = arms
+
+
+def _hot(cpus: int, **kwargs):
+    """A warmed-up block sweep whose per-CPU working set fits in L1
+    (1 KB per CPU on the default geometry): the hit-dominated regime
+    the vector engine accelerates."""
+    kwargs.setdefault("shared_kb", cpus)
+    kwargs.setdefault("iterations", 20)
+    return _synthetic("block", **kwargs)
+
+
+#: The pinned cell matrix.  The first block matches
+#: benchmarks/test_simulator_throughput.py; the ``hot-*`` family is
+#: hit-dominated (sub-1% miss rate after warm-up) and exists to gate
+#: the vector engine's replay speedups across its scheduling regimes
+#: (lockstep, skewed clocks, imbalanced work, single CPU — see
+#: docs/PERFORMANCE.md); the ``*-32x8`` cells run the paper-scale
+#: geometry.
 CELLS = {
-    "block/scoma": ("scoma", lambda: _synthetic("block")),
-    "block/lanuma": ("lanuma", lambda: _synthetic("block")),
-    "random/lanuma": ("lanuma", lambda: _synthetic("random")),
-    "migratory/dyn-lru": ("dyn-lru", lambda: _synthetic("migratory")),
-    "fft-tiny/scoma": ("scoma", lambda: _preset("fft", "tiny")),
-    "fft-small/scoma": ("scoma", lambda: _preset("fft", "small")),
-    "lu-tiny/scoma": ("scoma", lambda: _preset("lu", "tiny")),
+    "block/scoma": Cell("scoma", lambda: _synthetic("block")),
+    "block/lanuma": Cell("lanuma", lambda: _synthetic("block")),
+    "random/lanuma": Cell("lanuma", lambda: _synthetic("random")),
+    "migratory/dyn-lru": Cell("dyn-lru", lambda: _synthetic("migratory")),
+    "fft-tiny/scoma": Cell("scoma", lambda: _preset("fft", "tiny")),
+    "fft-small/scoma": Cell("scoma", lambda: _preset("fft", "small")),
+    "lu-tiny/scoma": Cell("scoma", lambda: _preset("lu", "tiny")),
+    "hot-uniform/scoma": Cell("scoma", lambda: _hot(4)),
+    "hot-skew/scoma": Cell("scoma", lambda: _hot(4),
+                           schedule=lambda: _skew(4)),
+    "hot-imbalance/scoma": Cell(
+        "scoma", lambda: _hot(4, iterations=8, imbalance=7.0)),
+    "hot-serial/scoma": Cell("scoma", lambda: _hot(1),
+                             config=_serial_config),
+    "hot-32x8/scoma": Cell(
+        "scoma", lambda: _hot(256, iterations=4), config=_wide_config),
+    "skew-32x8/scoma": Cell(
+        "scoma", lambda: _hot(256, iterations=4), config=_wide_config,
+        schedule=lambda: _skew(256)),
 }
 
 #: The CI subset: one synthetic hot-loop cell, one remote-heavy cell,
-#: one real-kernel cell.  Runs in about a second per round.
-QUICK_CELLS = ("block/scoma", "random/lanuma", "fft-tiny/scoma")
+#: one real-kernel cell, one vector-regime cell.  Runs in a few
+#: seconds per round.
+QUICK_CELLS = ("block/scoma", "random/lanuma", "fft-tiny/scoma",
+               "hot-serial/scoma")
 
 
-def run_cell(name: str, rounds: int) -> "dict[str, object]":
-    """Benchmark one cell; returns its trajectory record."""
-    policy, factory = CELLS[name]
+def run_cell(name: str, rounds: int,
+             engine: str = "interp") -> "dict[str, object]":
+    """Benchmark one cell under one engine; returns its record.
+
+    Best-of-``rounds`` wall time.  For the vector arm the in-memory
+    trace cache persists across rounds (workload signatures are
+    content-addressed), so the reported number is warm-trace replay
+    throughput — recording cost is bounded separately by the
+    ``trace_compile`` gate in ci_check.sh.
+    """
+    cell = CELLS[name]
+    config = replace(cell.config(), engine=engine)
     best_wall = None
     references = cycles = 0
     for _ in range(rounds):
-        machine = Machine(_bench_config(), policy=policy)
-        workload = factory()
+        schedule = cell.schedule() if cell.schedule is not None else None
+        machine = build_machine(config, policy=cell.policy,
+                                schedule=schedule)
+        workload = cell.factory()
         start = time.perf_counter()
         result = machine.run(workload)
         wall = time.perf_counter() - start
@@ -100,7 +179,8 @@ def run_cell(name: str, rounds: int) -> "dict[str, object]":
         if best_wall is None or wall < best_wall:
             best_wall = wall
     return {
-        "cell": name,
+        "cell": name if engine == "interp" else "%s@%s" % (name, engine),
+        "engine": engine,
         "refs_per_sec": round(references / best_wall, 1),
         "wall_s": round(best_wall, 4),
         "cycles": cycles,
@@ -164,6 +244,26 @@ def trace_overhead(rounds: int, tolerance: float) -> int:
     return 0
 
 
+def geomean(values) -> float:
+    """Geometric mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    import math
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _print_geomeans(records) -> None:
+    """Per-arm geomean summary lines for the matrix just timed."""
+    for engine in ("interp", "vector"):
+        arm = [r["refs_per_sec"] for r in records
+               if r.get("engine", "interp") == engine]
+        if arm:
+            print("  %-22s %28s %10.0f refs/s"
+                  % ("geomean@%s" % engine, "(%d cells)" % len(arm),
+                     geomean(arm)))
+
+
 def host_metadata() -> "dict[str, str]":
     return {
         "python": platform.python_version(),
@@ -175,28 +275,43 @@ def host_metadata() -> "dict[str, str]":
 
 def compare(old: "dict[str, object]", new: "dict[str, object]",
             tolerance: float) -> int:
-    """Gate ``new`` against ``old``; returns the process exit code."""
+    """Gate ``new`` against ``old``; returns the process exit code.
+
+    Cells are listed worst-delta first, so the biggest regression tops
+    the report; the failure line names the offending cells and their
+    drops (not just a count).  Cells without a baseline are reported
+    as NEW and never gate.
+    """
     old_cells = {c["cell"]: c for c in old.get("cells", [])}
-    regressions = 0
-    print("\n== bench compare (tolerance %.0f%%) ==" % (tolerance * 100))
+    fresh, rated = [], []
     for record in new["cells"]:
-        name = record["cell"]
-        baseline = old_cells.get(name)
+        baseline = old_cells.get(record["cell"])
         if baseline is None:
-            print("  %-20s NEW       %10.0f refs/s (no baseline)"
-                  % (name, record["refs_per_sec"]))
-            continue
-        ratio = record["refs_per_sec"] / baseline["refs_per_sec"]
+            fresh.append(record)
+        else:
+            ratio = record["refs_per_sec"] / baseline["refs_per_sec"]
+            rated.append((ratio, record, baseline))
+    rated.sort(key=lambda entry: entry[0])
+    print("\n== bench compare (tolerance %.0f%%, worst first) =="
+          % (tolerance * 100))
+    regressions = []
+    for ratio, record, baseline in rated:
         label = "OK"
         if ratio < 1.0 - tolerance:
             label = "REGRESSION"
-            regressions += 1
-        print("  %-20s %-9s %10.0f refs/s vs %10.0f baseline (%+.1f%%)"
-              % (name, label, record["refs_per_sec"],
+            regressions.append((record["cell"], ratio))
+        print("  %-22s %-10s %10.0f refs/s vs %10.0f baseline (%+.1f%%)"
+              % (record["cell"], label, record["refs_per_sec"],
                  baseline["refs_per_sec"], (ratio - 1.0) * 100))
+    for record in fresh:
+        print("  %-22s NEW        %10.0f refs/s (no baseline)"
+              % (record["cell"], record["refs_per_sec"]))
     if regressions:
-        print("bench compare: %d cell(s) regressed more than %.0f%%"
-              % (regressions, tolerance * 100))
+        print("bench compare: REGRESSION in %s (worst: %s, %.1f%% below "
+              "baseline; tolerance %.0f%%)"
+              % (", ".join(name for name, _ in regressions),
+                 regressions[0][0], (1.0 - regressions[0][1]) * 100,
+                 tolerance * 100))
         return 1
     print("bench compare: OK")
     return 0
@@ -214,6 +329,11 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per cell; best is kept "
                              "(default: 3)")
+    parser.add_argument("--engine", choices=("interp", "vector", "both"),
+                        default="both",
+                        help="engine arm(s) to time; 'both' (default) "
+                             "records the vector arm as CELL@vector "
+                             "next to the interp arm")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="write the trajectory JSON here "
                              "(e.g. BENCH_sim.json)")
@@ -244,11 +364,17 @@ def main(argv=None) -> int:
           % (args.rounds, "s" if args.rounds != 1 else ""))
     records = []
     for name in names:
-        record = run_cell(name, args.rounds)
-        records.append(record)
-        print("  %-20s %8d refs %8.3fs %10.0f refs/s"
-              % (name, record["references"], record["wall_s"],
-                 record["refs_per_sec"]))
+        if args.engine == "both":
+            arms = CELLS[name].arms
+        else:
+            arms = (args.engine,)
+        for engine in arms:
+            record = run_cell(name, args.rounds, engine=engine)
+            records.append(record)
+            print("  %-22s %8d refs %8.3fs %10.0f refs/s"
+                  % (record["cell"], record["references"],
+                     record["wall_s"], record["refs_per_sec"]))
+    _print_geomeans(records)
 
     payload = {
         "schema": 1,

@@ -19,17 +19,25 @@ ROOT = pathlib.Path(__file__).resolve().parents[1]
 FIXTURE = ROOT / "tests" / "integration" / "golden_tiny_stats.json"
 
 
-def compute_golden() -> "dict[str, dict]":
-    """Simulate every (app, policy) cell at the tiny preset."""
+def compute_golden(engine: str = "interp") -> "dict[str, dict]":
+    """Simulate every (app, policy) cell at the tiny preset.
+
+    ``engine`` picks the simulation core; any engine must reproduce
+    the committed fixture byte for byte (the vector engine's identity
+    gate in test_golden_stats.py runs this with ``engine="vector"``).
+    """
+    from dataclasses import replace
+
     from repro.core.policies import POLICY_NAMES
     from repro.sim.config import tiny_config
-    from repro.sim.machine import Machine
+    from repro.sim.replay import build_machine
     from repro.workloads import APPLICATIONS, make_workload
 
     cells = {}
     for app in APPLICATIONS:
         for policy in POLICY_NAMES:
-            machine = Machine(tiny_config(), policy=policy)
+            machine = build_machine(
+                replace(tiny_config(), engine=engine), policy=policy)
             machine.run(make_workload(app, preset="tiny"))
             cells["%s/%s" % (app, policy)] = machine.stats.to_dict()
     return cells
