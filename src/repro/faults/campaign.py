@@ -113,7 +113,11 @@ def run_chaos(test: LitmusTest, plan: FaultPlan, seed: int = 0,
         machine = Machine(test.build_config(), policy=test.policy,
                           faults=injector, deadline=deadline)
         tracker = ValueTracker(machine, sink)
-        workload = LitmusWorkload(test)
+        # Litmus tests run as LitmusWorkload; scenario-style tests (the
+        # serving family's 2PC transactions) supply their own workload
+        # via a duck-typed make_workload() hook.
+        make = getattr(test, "make_workload", None)
+        workload = make() if make is not None else LitmusWorkload(test)
         verdict = Verdict.COMPLETED_SC
         detail = ""
         try:
@@ -148,6 +152,11 @@ def run_chaos(test: LitmusTest, plan: FaultPlan, seed: int = 0,
         violations.append("history truncated: %d events dropped"
                           % sink.dropped)
     violations += check_history(sink.events, machine._line_shift)
+    checker = getattr(test, "check", None)
+    if checker is not None:
+        # Scenario-level invariants over the recorded history (e.g. 2PC
+        # atomicity: no data apply before its commit decision).
+        violations += checker(sink.events, machine)
     if verdict == Verdict.COMPLETED_SC and test.forbidden is not None:
         registers = _bind_registers(test, sink.events)
         if test.forbidden(registers):

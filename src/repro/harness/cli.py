@@ -22,7 +22,7 @@ import argparse
 
 from repro.core.policies import POLICY_NAMES
 from repro.sim.config import MachineConfig
-from repro.workloads import APPLICATIONS, PRESET_NAMES
+from repro.workloads import ALL_APPLICATIONS, APPLICATIONS, PRESET_NAMES
 
 
 #: Default on-disk result cache used by ``run``/``suite``/``evaluate``.
@@ -69,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one workload under one policy")
-    run.add_argument("workload", choices=APPLICATIONS)
+    run.add_argument("workload", choices=ALL_APPLICATIONS)
     run.add_argument("--policy", default="scoma", choices=POLICY_NAMES)
     run.add_argument("--preset", default="small", choices=PRESET_NAMES)
     run.add_argument("--page-cache", type=int, default=None,
@@ -92,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite",
                            help="run all six policies (Figure 7 slice)")
-    suite.add_argument("workload", choices=APPLICATIONS)
+    suite.add_argument("workload", choices=ALL_APPLICATIONS)
     suite.add_argument("--preset", default="small", choices=PRESET_NAMES)
     _add_engine_arg(suite)
     _add_session_args(suite)
@@ -113,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze", help="characterize a workload's reference streams")
-    analyze.add_argument("workload", choices=APPLICATIONS)
+    analyze.add_argument("workload", choices=ALL_APPLICATIONS)
     analyze.add_argument("--preset", default="small", choices=PRESET_NAMES)
     analyze.add_argument("--cpus", type=int, default=32)
 
@@ -125,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser(
         "metrics", help="per-policy telemetry for cached (or fresh) cells")
-    metrics.add_argument("workload", choices=APPLICATIONS)
+    metrics.add_argument("workload", choices=ALL_APPLICATIONS)
     metrics.add_argument("--policy", action="append", default=None,
                          choices=POLICY_NAMES, metavar="POLICY",
                          help="policy to report (repeatable; default: "
@@ -151,7 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="record causal transaction traces and explain "
                       "where the latency went (docs/OBSERVABILITY.md)")
-    trace.add_argument("workload", choices=APPLICATIONS)
+    trace.add_argument("workload", choices=ALL_APPLICATIONS)
     trace.add_argument("--policy", default="scoma", choices=POLICY_NAMES)
     trace.add_argument("--preset", default="tiny", choices=PRESET_NAMES)
     trace.add_argument("--seed", type=int, default=0,
@@ -278,6 +278,13 @@ def cmd_run(args) -> int:
              " [cached]" if session.cache_hits else ""))
     for key, value in result.stats.summary().items():
         print("  %-22s %s" % (key, value))
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        # Serving workloads under --metrics report request latency
+        # quantiles and the throughput curve next to the stats.
+        from repro.workloads.serving import serving_summary
+        for line in serving_summary(metrics):
+            print("  %s" % line)
     if args.trace_out:
         written = sink.write_jsonl(args.trace_out)
         print("wrote %d events to %s (%d dropped)"
@@ -366,13 +373,19 @@ def cmd_chaos(args) -> int:
     from repro.faults import ChaosCampaign, FaultPlan, RetryPolicy
     from repro.faults.campaign import DEFAULT_DEADLINE
     from repro.verify import LITMUS_SUITE, suite_by_name
+    from repro.workloads.serving import chaos_scenarios
     tests = LITMUS_SUITE
     if args.test:
-        by_name = suite_by_name()
+        by_name = dict(suite_by_name())
+        # Serving chaos scenarios (txn2pc under command channels) are
+        # addressable by name next to the litmus tests.
+        by_name.update(chaos_scenarios())
         unknown = [name for name in args.test if name not in by_name]
         if unknown:
-            print("unknown litmus tests: %s (try repro verify --list)"
-                  % ", ".join(unknown))
+            print("unknown chaos tests: %s (try repro verify --list, or "
+                  "a serving scenario: %s)"
+                  % (", ".join(unknown),
+                     ", ".join(sorted(chaos_scenarios()))))
             return 2
         tests = tuple(by_name[name] for name in args.test)
     plan = None
@@ -717,9 +730,13 @@ def cmd_top(args) -> int:
 
 def cmd_list(_args) -> int:
     """``repro list``: the available names."""
+    from repro.workloads import SERVING_APPLICATIONS
+    from repro.workloads.serving import chaos_scenarios
     print("workloads: %s" % ", ".join(APPLICATIONS))
+    print("serving:   %s" % ", ".join(SERVING_APPLICATIONS))
     print("policies:  %s" % ", ".join(POLICY_NAMES))
     print("presets:   %s" % ", ".join(PRESET_NAMES))
+    print("chaos:     %s" % ", ".join(sorted(chaos_scenarios())))
     return 0
 
 

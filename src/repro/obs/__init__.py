@@ -46,15 +46,15 @@ from repro.obs.registry import (LATENCY_BUCKETS_CYCLES,
                                 TIME_BUCKETS_SECONDS, Counter, Gauge,
                                 Histogram, MetricsRegistry, Series,
                                 find_metrics, metric_key, parse_key,
-                                quantile)
+                                quantile, series_quantile)
 
 __all__ = [
     "EVENT_SCHEMA", "EventSink", "LATENCY_BUCKETS_CYCLES",
     "TIME_BUCKETS_SECONDS", "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "Series", "collecting", "counter", "current",
     "enabled", "find_metrics", "gauge", "histogram", "install",
-    "metric_key", "parse_key", "quantile", "series", "timer",
-    "uninstall", "validate_event", "validate_jsonl",
+    "metric_key", "parse_key", "quantile", "series", "series_quantile",
+    "timer", "uninstall", "validate_event", "validate_jsonl",
 ]
 
 #: The process-wide registry, or None (observability disabled).

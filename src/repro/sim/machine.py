@@ -243,6 +243,9 @@ class Machine:
         #: (verification: invariant walks at synchronization points).
         #: None keeps the barrier path a single attribute test.
         self._barrier_hook = None
+        #: Workload-bound taps (closed after _finalize); see
+        #: _bind_workload_taps.
+        self._taps = []
         #: Nodes that have fail-stopped (section 3.3 failure model).
         self.failed_nodes: "set[int]" = set()
         self.stats = MachineStats(
@@ -286,6 +289,27 @@ class Machine:
     def run(self, workload) -> RunResult:
         """Set up ``workload`` and simulate it to completion."""
         workload.setup(self.layout, len(self.cpus))
+        self._bind_workload_taps(workload)
+        return self._run_interp(workload)
+
+    def _bind_workload_taps(self, workload) -> None:
+        """Give ``workload`` its post-setup machine hook.
+
+        A workload exposing ``bind_machine(machine)`` (the serving
+        family's metrics tap, the 2PC chaos channel driver) is called
+        here, after :meth:`setup` built its segments but before any op
+        executes.  A returned object with a ``close()`` method is
+        closed after the run's stats are finalized.
+        """
+        bind = getattr(workload, "bind_machine", None)
+        if bind is None:
+            return
+        tap = bind(self)
+        if tap is not None and hasattr(tap, "close"):
+            self._taps.append(tap)
+
+    def _run_interp(self, workload) -> RunResult:
+        """The interpreter's simulate-to-completion tail (post-setup)."""
         # Instructions executed around each memory reference (address
         # arithmetic, loop control) — keeps issue rates realistic for an
         # in-order CPU instead of back-to-back memory operations.
@@ -296,6 +320,8 @@ class Machine:
         self._event_loop()
         wall = perf_counter() - start
         self._finalize()
+        for tap in self._taps:
+            tap.close()
         if self._obs is not None:
             # Host-side throughput, next to the simulated telemetry:
             # how fast the host chewed through this run's references.

@@ -471,12 +471,25 @@ class VectorMachine(Machine):
                            and cfg.page_cache_frames is None
                            and cfg.total_frames_per_node is None
                            and page_cache_override is None)
+        #: Set when an instance-level ``_access`` wrap (a value tap or
+        #: serving tap) forces the interpreter op path; see run().
+        self._interp_mode = False
 
     # -- running -------------------------------------------------------
 
     def run(self, workload) -> RunResult:
         """Compile (or fetch) the workload's trace, then replay it."""
         workload.setup(self.layout, len(self.cpus))
+        self._bind_workload_taps(workload)
+        if "_access" in self.__dict__:
+            # A tap wrapped _access at instance level and must see every
+            # reference, but the vectorized claim path batches L1 hits
+            # without ever calling _access.  Fall back to the
+            # interpreter's op path for this run — stats stay identical
+            # by the engines' byte-identity contract; only host speed
+            # changes.
+            self._interp_mode = True
+            return self._run_interp(workload)
         self._ref_gap = getattr(workload, "cycles_per_ref", 3)
         self._claim_step = self._ref_gap + self._lat_l1_hit
         trace = self._trace_cache.get_or_compile(workload, len(self.cpus))
@@ -495,6 +508,8 @@ class VectorMachine(Machine):
         self._event_loop()
         wall = perf_counter() - start
         self._finalize()
+        for tap in self._taps:
+            tap.close()
         if self._obs is not None:
             self._obs.gauge("host.wall_seconds").set(round(wall, 6))
             self._obs.gauge("host.refs_per_sec").set(
@@ -552,6 +567,8 @@ class VectorMachine(Machine):
         ``_drain_pending``'s arithmetic without the ``_run_cpu``
         dispatch overhead.
         """
+        if self._interp_mode:
+            return Machine._event_loop(self)
         if self.faults is not None or self.deadline is not None:
             return super()._event_loop()
         schedule = self.schedule
@@ -647,6 +664,8 @@ class VectorMachine(Machine):
 
     def _run_cpu(self, cpu, limit: "int | None") -> str:
         """Advance ``cpu`` along its compiled trace (see Machine)."""
+        if self._interp_mode:
+            return Machine._run_cpu(self, cpu, limit)
         rs = self._cursors[cpu.cpu_id]
         segs = self._segviews[cpu.cpu_id]
         stats = cpu.stats

@@ -22,11 +22,18 @@ from repro.workloads.lu import LuWorkload
 from repro.workloads.mp3d import Mp3dWorkload
 from repro.workloads.ocean import OceanWorkload
 from repro.workloads.radix import RadixWorkload
+from repro.workloads.serving import (SERVING_APPLICATIONS,
+                                     KvStoreWorkload, Txn2pcWorkload,
+                                     ZipfianStream)
 from repro.workloads.water import WaterNsqWorkload, WaterSpatialWorkload
 
 #: Paper order (Figure 7 / Tables 3-5).
 APPLICATIONS = ("barnes", "fft", "lu", "mp3d", "ocean", "radix",
                 "water-nsq", "water-spa")
+
+#: Paper kernels plus the serving family (kvstore, txn2pc) — the set
+#: the CLI's per-workload commands accept.
+ALL_APPLICATIONS = APPLICATIONS + SERVING_APPLICATIONS
 
 _PRESETS = {
     "barnes": {
@@ -81,9 +88,33 @@ _PRESETS = {
         "tiny": lambda: WaterSpatialWorkload(molecules=64, iterations=1,
                                              cells_per_dim=2),
     },
+    "kvstore": {
+        "paper": lambda: KvStoreWorkload(num_keys=16384, num_shards=64,
+                                         requests_per_cpu=12000, batches=6),
+        "default": lambda: KvStoreWorkload(),
+        "small": lambda: KvStoreWorkload(num_keys=1024, num_shards=16,
+                                         requests_per_cpu=1200, batches=3),
+        "tiny": lambda: KvStoreWorkload(num_keys=192, num_shards=8,
+                                        requests_per_cpu=240, batches=3,
+                                        churn_interval=64, drift=8),
+        "serving": lambda: KvStoreWorkload(num_keys=4096, num_shards=32,
+                                           requests_per_cpu=3000, batches=5,
+                                           skew=1.1, churn_interval=200,
+                                           drift=32),
+    },
+    "txn2pc": {
+        "paper": lambda: Txn2pcWorkload(txns=600),
+        "default": lambda: Txn2pcWorkload(),
+        "small": lambda: Txn2pcWorkload(txns=64),
+        "tiny": lambda: Txn2pcWorkload(txns=24),
+        "serving": lambda: Txn2pcWorkload(txns=160, apply_lines=4),
+    },
 }
 
-PRESET_NAMES = ("paper", "default", "small", "tiny")
+#: ``serving`` is the request-serving preset of the serving family
+#: (kvstore/txn2pc); the paper kernels reject it like any other
+#: unknown preset.
+PRESET_NAMES = ("paper", "default", "small", "tiny", "serving")
 
 
 def make_workload(name: str, preset: str = "default") -> Workload:
@@ -92,7 +123,7 @@ def make_workload(name: str, preset: str = "default") -> Workload:
         presets = _PRESETS[name.strip().lower()]
     except KeyError:
         raise ValueError("unknown workload %r; choose from %s"
-                         % (name, ", ".join(APPLICATIONS))) from None
+                         % (name, ", ".join(ALL_APPLICATIONS))) from None
     try:
         factory = presets[preset]
     except KeyError:
@@ -102,9 +133,10 @@ def make_workload(name: str, preset: str = "default") -> Workload:
 
 
 __all__ = [
-    "APPLICATIONS", "PRESET_NAMES", "make_workload",
+    "ALL_APPLICATIONS", "APPLICATIONS", "PRESET_NAMES",
+    "SERVING_APPLICATIONS", "make_workload",
     "Workload", "SharedArray", "PrivateArray",
-    "BarnesWorkload", "FftWorkload", "LuWorkload", "Mp3dWorkload",
-    "OceanWorkload", "RadixWorkload", "WaterNsqWorkload",
-    "WaterSpatialWorkload",
+    "BarnesWorkload", "FftWorkload", "KvStoreWorkload", "LuWorkload",
+    "Mp3dWorkload", "OceanWorkload", "RadixWorkload", "Txn2pcWorkload",
+    "WaterNsqWorkload", "WaterSpatialWorkload", "ZipfianStream",
 ]

@@ -52,7 +52,9 @@ def test_chaos_no_retry_detects_the_hang(tmp_path, capsys):
 
 def test_chaos_unknown_test_is_an_error(capsys):
     assert main(["chaos", "--test", "nonesuch"]) == 2
-    assert "unknown litmus tests: nonesuch" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "unknown chaos tests: nonesuch" in out
+    assert "txn2pc" in out
 
 
 def test_chaos_rejects_bad_rounds():

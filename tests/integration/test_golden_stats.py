@@ -40,14 +40,14 @@ def recomputed():
 
 def test_fixture_covers_every_app_policy_cell(golden):
     from repro.core.policies import POLICY_NAMES
-    from repro.workloads import APPLICATIONS
+    from repro.workloads import ALL_APPLICATIONS
     expected = {"%s/%s" % (a, p)
-                for a in APPLICATIONS for p in POLICY_NAMES}
+                for a in ALL_APPLICATIONS for p in POLICY_NAMES}
     assert set(golden) == expected
 
 
 def test_vector_engine_matches_the_committed_golden_fixture(golden):
-    """The trace-replay engine's identity gate: every one of the 64
+    """The trace-replay engine's identity gate: every one of the 80
     tiny-matrix cells must reproduce the committed interpreter fixture
     byte for byte — same counters, same cycle totals, same per-CPU
     breakdowns."""

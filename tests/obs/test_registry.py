@@ -130,3 +130,44 @@ def test_collecting_installs_and_restores():
         assert obs.current() is reg
     assert not obs.enabled()
     assert reg.counter("inside").value == 1
+
+
+def test_quantile_edge_cases_are_defined_not_raised():
+    # Missing "count" key (series-style partial snapshot): recomputed
+    # from counts.
+    partial = {"buckets": [1, 2, 4], "counts": [0, 3, 0, 0]}
+    assert quantile(partial, 0.5) == 2
+    # Single sample: every q reports its one populated bucket.
+    single = {"buckets": [1, 2, 4], "counts": [0, 0, 1, 0], "count": 1}
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert quantile(single, q) == 4
+    # All mass in one bucket behind empty leading buckets: q=0 must not
+    # report the empty leading bucket.
+    skewed = {"buckets": [1, 2, 4, 8], "counts": [0, 0, 5, 0, 0],
+              "count": 5}
+    assert quantile(skewed, 0.0) == 4
+    assert quantile(skewed, 1.0) == 4
+    # Pure-overflow histogram reports the last finite bound.
+    overflow = {"buckets": [1, 2], "counts": [0, 0, 3], "count": 3}
+    assert quantile(overflow, 0.5) == 2
+    # Histogram object path agrees with the snapshot path.
+    hist = Histogram(buckets=(1, 2, 4))
+    hist.observe(3)
+    assert hist.quantile(0.0) == hist.quantile(1.0) == 4
+
+
+def test_series_quantile_edge_cases():
+    from repro.obs import series_quantile
+
+    assert series_quantile([], 0.5) == 0
+    assert series_quantile([[10, 7]], 0.0) == 7
+    assert series_quantile([[10, 7]], 1.0) == 7
+    allequal = [[t, 3] for t in range(5)]
+    for q in (0.0, 0.5, 1.0):
+        assert series_quantile(allequal, q) == 3
+    spread = [[t, v] for t, v in enumerate((5, 1, 9, 3, 7))]
+    assert series_quantile(spread, 0.0) == 1
+    assert series_quantile(spread, 0.5) == 5
+    assert series_quantile(spread, 1.0) == 9
+    with pytest.raises(ValueError):
+        series_quantile(spread, 2.0)

@@ -386,3 +386,68 @@ def test_traced_vector_run_exports_same_span_schema(tmp_path):
     written = vector.write_spans(out)
     assert written > 0
     assert tracing.validate_spans_jsonl(out) == written
+
+
+# ----------------------------------------------------------------------
+# Serving workloads (kvstore / txn2pc)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("app", ["kvstore", "txn2pc"])
+def test_identical_on_serving_workloads(app):
+    # The serving family compiles through the same coalesce/segment
+    # pipeline as the paper kernels; interpreter and vector stats must
+    # be byte-identical at the tiny preset.
+    from repro.sim.config import tiny_config
+    from repro.workloads import make_workload
+
+    a = Machine(tiny_config(), policy="scoma").run(
+        make_workload(app, "tiny")).stats.to_dict()
+    b = VectorMachine(replace(tiny_config(), engine="vector"),
+                      policy="scoma").run(
+        make_workload(app, "tiny")).stats.to_dict()
+    assert a == b, {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+
+
+@pytest.mark.parametrize("app", ["kvstore", "txn2pc"])
+def test_serving_metrics_run_is_engine_identical(app):
+    # With a registry installed the serving tap wraps _access, which
+    # forces the vector engine onto the interpreter path — both the
+    # stats and the serving metrics must match the plain interpreter.
+    from repro import obs
+    from repro.sim.config import tiny_config
+    from repro.workloads import make_workload
+
+    def run(machine_cls, cfg):
+        with obs.collecting() as registry:
+            result = machine_cls(cfg, policy="scoma").run(
+                make_workload(app, "tiny"))
+        snapshot = registry.to_dict()
+        # host.* gauges are wall-clock (simulation-rate) measurements;
+        # everything else is simulated state and must be identical.
+        snapshot["gauges"] = {k: v for k, v in snapshot["gauges"].items()
+                              if not k.startswith("host.")}
+        return result.stats.to_dict(), snapshot
+
+    interp_stats, interp_metrics = run(Machine, tiny_config())
+    vector_stats, vector_metrics = run(
+        VectorMachine, replace(tiny_config(), engine="vector"))
+    assert interp_stats == vector_stats
+    assert interp_metrics == vector_metrics
+
+
+@pytest.mark.parametrize("app", ["kvstore", "txn2pc"])
+def test_serving_compiles_and_replays_from_trace_cache(app):
+    # record_trace + trace_signature must handle the serving workloads'
+    # attribute mix (streams live only inside setup; plans are plain
+    # ndarrays), so a cached compile replays to the same stats.
+    from repro.sim.config import tiny_config
+    from repro.workloads import make_workload
+
+    cfg = replace(tiny_config(), engine="vector")
+    cache = TraceCache()
+    a = build_machine(cfg, policy="scoma", trace_cache=cache).run(
+        make_workload(app, "tiny")).stats.to_dict()
+    b = build_machine(cfg, policy="scoma", trace_cache=cache).run(
+        make_workload(app, "tiny")).stats.to_dict()
+    assert cache.hits >= 1
+    assert a == b

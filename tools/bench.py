@@ -143,13 +143,17 @@ CELLS = {
     "skew-32x8/scoma": Cell(
         "scoma", lambda: _hot(256, iterations=4), config=_wide_config,
         schedule=lambda: _skew(256)),
+    # Serving family: Zipfian request mix (lock-free, barrier-batched)
+    # and the lock-heavy 2PC transaction loop.
+    "kvstore-tiny/scoma": Cell("scoma", lambda: _preset("kvstore", "tiny")),
+    "txn2pc-tiny/scoma": Cell("scoma", lambda: _preset("txn2pc", "tiny")),
 }
 
 #: The CI subset: one synthetic hot-loop cell, one remote-heavy cell,
-#: one real-kernel cell, one vector-regime cell.  Runs in a few
-#: seconds per round.
+#: one real-kernel cell, one vector-regime cell, one serving cell.
+#: Runs in a few seconds per round.
 QUICK_CELLS = ("block/scoma", "random/lanuma", "fft-tiny/scoma",
-               "hot-serial/scoma")
+               "hot-serial/scoma", "kvstore-tiny/scoma")
 
 
 def run_cell(name: str, rounds: int,

@@ -165,6 +165,36 @@ grep -q 'fft' "$workdir/top.txt" || {
     exit 1
 }
 
+echo "== serving smoke: kvstore on both engines + seeded txn2pc chaos =="
+# A tiny kvstore cell must produce byte-identical MachineStats on both
+# engines, and its serving summary must report request latency.
+python -m repro run kvstore --preset tiny --no-cache --metrics \
+    > "$workdir/kv_interp.txt"
+python -m repro run kvstore --preset tiny --no-cache --metrics \
+    --engine vector > "$workdir/kv_vector.txt"
+for f in kv_interp kv_vector; do
+    grep -v -e 'refs/sec' -e 'host wall' "$workdir/$f.txt" \
+        > "$workdir/$f.stable"
+done
+if ! diff -u "$workdir/kv_interp.stable" "$workdir/kv_vector.stable"; then
+    echo "FAIL: kvstore serving run diverged across engines" >&2
+    exit 1
+fi
+grep -q 'p50=' "$workdir/kv_interp.txt" || {
+    echo "FAIL: kvstore --metrics reported no request latency" >&2
+    exit 1
+}
+# One seeded 2PC chaos round, twice: verdicts must be acceptable and
+# the reports byte-identical.
+python -m repro chaos --test txn2pc --seed 11 --rounds 2 \
+    > "$workdir/2pc1.txt"
+python -m repro chaos --test txn2pc --seed 11 --rounds 2 \
+    > "$workdir/2pc2.txt"
+if ! diff -u "$workdir/2pc1.txt" "$workdir/2pc2.txt"; then
+    echo "FAIL: txn2pc chaos campaign is not reproducible" >&2
+    exit 1
+fi
+
 echo "== simulator throughput gate (quick matrix, 10% tolerance) =="
 # Best-of-5 rounds, both engine arms (the vector arm gates as
 # CELL@vector cells of the extended baseline): the gate runs right

@@ -31,10 +31,10 @@ def compute_golden(engine: str = "interp") -> "dict[str, dict]":
     from repro.core.policies import POLICY_NAMES
     from repro.sim.config import tiny_config
     from repro.sim.replay import build_machine
-    from repro.workloads import APPLICATIONS, make_workload
+    from repro.workloads import ALL_APPLICATIONS, make_workload
 
     cells = {}
-    for app in APPLICATIONS:
+    for app in ALL_APPLICATIONS:
         for policy in POLICY_NAMES:
             machine = build_machine(
                 replace(tiny_config(), engine=engine), policy=policy)
